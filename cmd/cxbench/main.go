@@ -1,0 +1,126 @@
+// Command cxbench regenerates the paper's evaluation tables and figures
+// against the simulated cluster.
+//
+// Usage:
+//
+//	cxbench -exp all                # every experiment at the default scale
+//	cxbench -exp fig5 -scale 0.01   # one experiment, bigger replay
+//	cxbench -exp table5 -servers 8
+//
+// Experiments: table2, table4, table5, fig4, fig5, fig6, fig7a, fig7b,
+// fig8, fig9a, fig9b, protocols (extension: 2PC and CE in the comparison).
+// Each prints a table whose rows mirror the paper's; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cxfs/internal/cluster"
+	"cxfs/internal/harness"
+	"cxfs/internal/stats"
+	"cxfs/internal/trace"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|latency|triggers|all)")
+		scale   = flag.Float64("scale", 0.004, "fraction of each paper trace's op count to replay")
+		servers = flag.Int("servers", 8, "metadata servers for trace-driven experiments")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Scale: *scale, Servers: *servers, Seed: *seed}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "latency", "triggers"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "cxbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(id string, cfg harness.Config) error {
+	switch id {
+	case "table2":
+		_, tbl := harness.Table2(cfg)
+		fmt.Println(tbl)
+	case "table4":
+		_, tbl := harness.Table4(cfg)
+		fmt.Println(tbl)
+	case "table5":
+		_, tbl := harness.Table5(cfg)
+		fmt.Println(tbl)
+	case "fig4":
+		fmt.Println(harness.Fig4(cfg))
+	case "fig5":
+		_, tbl := harness.Fig5(cfg, nil)
+		fmt.Println(tbl)
+	case "fig6":
+		_, tbl := harness.Fig6(cfg, nil, 0)
+		fmt.Println(tbl)
+	case "fig7a":
+		_, tbl := harness.Fig7a(cfg, nil)
+		fmt.Println(tbl)
+	case "fig7b":
+		series, tbl := harness.Fig7b(cfg, 0)
+		fmt.Println(tbl)
+		fmt.Printf("peak=%.0f bytes, pruning drops=%d\n\n", series.Peak(), series.Drops(0.3))
+	case "fig8":
+		_, base, tbl := harness.Fig8(cfg, nil)
+		fmt.Println(tbl)
+		fmt.Printf("OFS baseline replay: %v\n\n", base.Round(time.Millisecond))
+	case "fig9a":
+		_, tbl := harness.Fig9a(cfg, nil)
+		fmt.Println(tbl)
+	case "fig9b":
+		_, tbl := harness.Fig9b(cfg, nil)
+		fmt.Println(tbl)
+	case "protocols":
+		fmt.Println(protocolsExtension(cfg))
+	case "latency":
+		_, tbl := harness.Latency(cfg, "s3d")
+		fmt.Println(tbl)
+	case "triggers":
+		_, tbl := harness.Triggers(cfg)
+		fmt.Println(tbl)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+// protocolsExtension compares all five protocols on one trace — beyond the
+// paper, which describes 2PC and CE (§II.B, Fig 1) but only evaluates the
+// OFS variants.
+func protocolsExtension(cfg harness.Config) *stats.Table {
+	tbl := stats.NewTable("Extension: all five protocols on s3d (replay time)",
+		"Protocol", "Replay", "Messages", "vs OFS")
+	p, _ := trace.ProfileByName("s3d")
+	var base time.Duration
+	for _, proto := range cluster.Protocols {
+		tr := trace.Generate(p, cfg.Scale, cfg.Seed)
+		o := cluster.DefaultOptions(cfg.Servers, proto)
+		o.ClientHosts = 16
+		o.ProcsPerHost = 8
+		o.Seed = cfg.Seed
+		c := cluster.New(o)
+		res := (&trace.Replayer{Trace: tr, C: c}).Run()
+		c.Shutdown()
+		if proto == cluster.ProtoSE {
+			base = res.ReplayTime
+		}
+		tbl.Add(string(proto), res.ReplayTime, res.Messages, stats.Pct(stats.Improvement(base, res.ReplayTime)))
+	}
+	return tbl
+}

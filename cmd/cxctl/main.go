@@ -1,0 +1,96 @@
+// Command cxctl is the client for cxd: it sends one command to a running
+// daemon and prints the result.
+//
+// Usage:
+//
+//	cxctl -addr 127.0.0.1:7070 ping
+//	cxctl run table2
+//	cxctl -scale 0.01 run fig5
+//	cxctl -trace s3d -protocol cx replay
+//	cxctl -mix update-dominated -servers 8 metarates
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "cxd address")
+		scale    = flag.Float64("scale", 0.002, "trace scale")
+		servers  = flag.Int("servers", 4, "metadata servers")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		traceN   = flag.String("trace", "s3d", "trace name for replay")
+		protocol = flag.String("protocol", "cx", "protocol for replay/metarates")
+		mix      = flag.String("mix", "update-dominated", "metarates mix")
+		ops      = flag.Int("ops", 40, "metarates ops per process")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "request timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cxctl [flags] <ping|experiments|run EXP|replay|metarates>")
+		os.Exit(2)
+	}
+
+	req := map[string]any{
+		"cmd": args[0], "scale": *scale, "servers": *servers, "seed": *seed,
+	}
+	switch args[0] {
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "cxctl: run needs an experiment id")
+			os.Exit(2)
+		}
+		req["exp"] = args[1]
+	case "replay":
+		req["trace"] = *traceN
+		req["protocol"] = *protocol
+	case "metarates":
+		req["mix"] = *mix
+		req["protocol"] = *protocol
+		req["ops"] = *ops
+	}
+
+	conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(*timeout))
+
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(req); err != nil {
+		fmt.Fprintf(os.Stderr, "cxctl: send: %v\n", err)
+		os.Exit(1)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	if !sc.Scan() {
+		fmt.Fprintln(os.Stderr, "cxctl: connection closed without response")
+		os.Exit(1)
+	}
+	var resp struct {
+		OK     bool   `json:"ok"`
+		Error  string `json:"error"`
+		Output string `json:"output"`
+		Millis int64  `json:"wall_ms"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "cxctl: bad response: %v\n", err)
+		os.Exit(1)
+	}
+	if !resp.OK {
+		fmt.Fprintf(os.Stderr, "cxctl: server error: %s\n", resp.Error)
+		os.Exit(1)
+	}
+	fmt.Println(resp.Output)
+	fmt.Fprintf(os.Stderr, "(wall time %dms)\n", resp.Millis)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDispatchCommands(t *testing.T) {
+	s := &server{}
+	if out, err := s.dispatch(Request{Cmd: "ping"}); err != nil || out != "pong" {
+		t.Errorf("ping: %q %v", out, err)
+	}
+	if out, err := s.dispatch(Request{Cmd: "experiments"}); err != nil || !strings.Contains(out, "fig5") {
+		t.Errorf("experiments: %q %v", out, err)
+	}
+	if _, err := s.dispatch(Request{Cmd: "nope"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := s.dispatch(Request{Cmd: "run", Exp: "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := s.dispatch(Request{Cmd: "replay", Trace: "nope"}); err == nil {
+		t.Error("unknown trace accepted")
+	}
+}
+
+func TestDispatchReplayAndMetarates(t *testing.T) {
+	s := &server{}
+	out, err := s.dispatch(Request{Cmd: "replay", Trace: "CTH", Protocol: "cx", Scale: 0.001, Servers: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !strings.Contains(out, "workload=CTH") || !strings.Contains(out, "protocol=cx") {
+		t.Errorf("replay output: %s", out)
+	}
+	out, err = s.dispatch(Request{Cmd: "metarates", Mix: "read-dominated", Servers: 2, Ops: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("metarates: %v", err)
+	}
+	if !strings.Contains(out, "mix=read-dominated") || !strings.Contains(out, "throughput=") {
+		t.Errorf("metarates output: %s", out)
+	}
+}
+
+func TestServeOverRealSocket(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := &server{}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.serve(c)
+		}
+	}()
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+
+	send := func(req Request) Response {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatal("no response")
+		}
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if r := send(Request{Cmd: "ping"}); !r.OK || r.Output != "pong" {
+		t.Errorf("ping: %+v", r)
+	}
+	if r := send(Request{Cmd: "bogus"}); r.OK || r.Error == "" {
+		t.Errorf("bogus: %+v", r)
+	}
+	if r := send(Request{Cmd: "replay", Trace: "CTH", Scale: 0.0005, Servers: 2}); !r.OK {
+		t.Errorf("replay over socket: %+v", r)
+	}
+}

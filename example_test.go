@@ -1,0 +1,60 @@
+package cxfs_test
+
+import (
+	"fmt"
+
+	cxfs "cxfs"
+)
+
+// The quickstart: a 4-server Cx cluster, a few metadata operations, and the
+// consistency check. Simulated time is deterministic, so the output is
+// stable.
+func ExampleNew() {
+	fs := cxfs.New(cxfs.Options{Servers: 4, Protocol: cxfs.Cx, Seed: 1})
+	defer fs.Close()
+
+	fs.Run(func(ctx *cxfs.Ctx) {
+		dir, _ := ctx.Mkdir(cxfs.Root, "project")
+		ino, _ := ctx.Create(dir, "main.go")
+		attr, _ := ctx.Stat(ino)
+		fmt.Printf("nlink=%d\n", attr.Nlink)
+		entries, _ := ctx.Readdir(dir)
+		fmt.Printf("entries=%d\n", len(entries))
+	})
+	fmt.Printf("consistent=%v\n", len(fs.CheckConsistency()) == 0)
+	// Output:
+	// nlink=1
+	// entries=1
+	// consistent=true
+}
+
+// Running the same workload under the paper's baseline protocols needs only
+// a different Options.Protocol; here serial execution (plain OrangeFS).
+func ExampleOptions() {
+	fs := cxfs.New(cxfs.Options{Servers: 2, Protocol: cxfs.SE, Seed: 1})
+	defer fs.Close()
+	fs.Run(func(ctx *cxfs.Ctx) {
+		ino, err := ctx.Create(cxfs.Root, "se-file")
+		fmt.Printf("created=%v err=%v\n", ino != 0, err)
+	})
+	// Output:
+	// created=true err=<nil>
+}
+
+// RunN drives many concurrent application processes; CxStats exposes what
+// the protocol did underneath.
+func ExampleFS_RunN() {
+	fs := cxfs.New(cxfs.Options{Servers: 4, Protocol: cxfs.Cx, Seed: 1})
+	defer fs.Close()
+	fs.RunN(4, func(ctx *cxfs.Ctx, i int) {
+		for j := 0; j < 5; j++ {
+			ctx.Create(cxfs.Root, fmt.Sprintf("f-%d-%d", i, j))
+		}
+	})
+	st := fs.CxStats()
+	// 15 of the 20 creates were cross-server (the rest landed colocated
+	// and committed locally); determinism makes the count stable.
+	fmt.Printf("committed=%d aborted=%d\n", st.OpsCommitted, st.OpsAborted)
+	// Output:
+	// committed=15 aborted=0
+}

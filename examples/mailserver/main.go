@@ -1,0 +1,122 @@
+// Mailserver: the network-server workload family of the paper's evaluation
+// (home2/deasna2/lair62b are Harvard home, research, and email traces).
+// Users mostly work in their own maildirs — the exclusive-dominated access
+// pattern §II.C describes — but a shared spool directory sees deliveries
+// from many agents, so a small fraction of operations touch files another
+// process created moments ago. Those are exactly the accesses that raise Cx
+// conflicts and force immediate commitments.
+//
+// The example reports how the conflict machinery behaved: how many
+// operations conflicted, how many commitments went immediate instead of
+// batched, and what it cost relative to a conflict-free run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	cxfs "cxfs"
+)
+
+const (
+	servers = 4
+	users   = 16
+	actions = 60 // per user
+)
+
+// run executes the mail workload; polling controls whether users stat
+// freshly delivered mail immediately (touching inodes another process
+// created moments ago — the conflict-raising pattern) or only ever touch
+// their own files (the exclusive-dominated pattern of §II.C).
+func run(polling bool) (elapsed time.Duration, stats struct {
+	conflicts, immediate, lazy uint64
+}) {
+	fs := cxfs.New(cxfs.Options{Servers: servers, Protocol: cxfs.Cx, Seed: 99,
+		CommitTimeout: 300 * time.Millisecond})
+	defer fs.Close()
+
+	userDirs := make([]cxfs.InodeID, users)
+	fs.Run(func(ctx *cxfs.Ctx) {
+		for u := range userDirs {
+			d, err := ctx.Mkdir(cxfs.Root, fmt.Sprintf("home-%02d", u))
+			if err != nil {
+				log.Fatal(err)
+			}
+			userDirs[u] = d
+		}
+	})
+
+	// Track recent deliveries per mailbox so readers poll fresh messages.
+	type msg struct {
+		dir  cxfs.InodeID
+		name string
+		ino  cxfs.InodeID
+	}
+	recent := make([][]msg, users)
+
+	fs.RunN(users, func(ctx *cxfs.Ctx, u int) {
+		rng := rand.New(rand.NewSource(int64(u) + 1))
+		seq := 0
+		for a := 0; a < actions; a++ {
+			switch r := rng.Float64(); {
+			case r < 0.35:
+				// Deliver mail to a random OTHER user's box.
+				to := (u + 1 + rng.Intn(users-1)) % users
+				dir := userDirs[to]
+				name := fmt.Sprintf("msg-%02d-%04d", u, seq)
+				seq++
+				ino, err := ctx.Create(dir, name)
+				if err != nil {
+					continue
+				}
+				recent[to] = append(recent[to], msg{dir, name, ino})
+				if len(recent[to]) > 8 {
+					recent[to] = recent[to][1:]
+				}
+			case r < 0.55 && polling && len(recent[u]) > 0:
+				// Poll fresh mail — created by another process moments
+				// ago, quite possibly still awaiting its lazy commitment:
+				// this is what raises conflicts.
+				m := recent[u][rng.Intn(len(recent[u]))]
+				ctx.Stat(m.ino)
+			case r < 0.7 && polling && len(recent[u]) > 0:
+				// Read and delete a fresh message (also conflict-prone).
+				m := recent[u][0]
+				recent[u] = recent[u][1:]
+				ctx.Remove(m.dir, m.name, m.ino)
+			default:
+				// Work in the private home directory.
+				name := fmt.Sprintf("draft-%02d-%04d", u, seq)
+				seq++
+				if ino, err := ctx.Create(userDirs[u], name); err == nil {
+					ctx.SetAttr(ino)
+					ctx.Remove(userDirs[u], name, ino)
+				}
+			}
+		}
+	})
+
+	if bad := fs.CheckConsistency(); len(bad) != 0 {
+		log.Fatalf("inconsistent: %v", bad)
+	}
+	st := fs.CxStats()
+	stats.conflicts = st.Conflicts
+	stats.immediate = st.ImmediateCommits
+	stats.lazy = st.LazyBatches
+	return fs.Elapsed(), stats
+}
+
+func main() {
+	fmt.Printf("mail server: %d users x %d actions on %d servers (Cx protocol)\n\n", users, actions, servers)
+	ePoll, sPoll := run(true)
+	eExcl, sExcl := run(false)
+	fmt.Printf("polling fresh mail: time=%-12v conflicts=%-4d immediate-commits=%-4d lazy-batches=%d\n",
+		ePoll.Round(time.Millisecond), sPoll.conflicts, sPoll.immediate, sPoll.lazy)
+	fmt.Printf("exclusive access:   time=%-12v conflicts=%-4d immediate-commits=%-4d lazy-batches=%d\n",
+		eExcl.Round(time.Millisecond), sExcl.conflicts, sExcl.immediate, sExcl.lazy)
+	fmt.Printf("\nreading another process's uncommitted files forced %d immediate commitments;\n", sPoll.immediate)
+	fmt.Println("with exclusive access everything rides the lazy batches — the §II.C pattern")
+	fmt.Println("that makes Cx's deferred commitment safe in practice.")
+}

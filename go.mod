@@ -1,0 +1,3 @@
+module cxfs
+
+go 1.24

@@ -1,0 +1,87 @@
+// Package baseline implements the three existing approaches the paper
+// compares Cx against (§II.B, Figure 1), plus the batched variant used in
+// the evaluation:
+//
+//   - SE — Serial Execution, the PVFS2/OrangeFS protocol: the client
+//     executes the participant's sub-op first, then the coordinator's, each
+//     synchronously written into the database; a failure of the second
+//     sub-op is compensated with a CLEAR message. This is the paper's
+//     "OFS" baseline.
+//   - SE-batched — the same serial protocol, but updated objects are logged
+//     and batched modifications are lazily flushed into the database. This
+//     is the paper's "OFS-batched" baseline, isolating the write-back
+//     batching gain from the concurrency gain.
+//   - 2PC — the Slice/Farsite/DCFS-style two-phase commit: VOTE, execute,
+//     YES/NO, COMMIT-REQ/ABORT-REQ, ACK, then the client response; every
+//     server logs before sending.
+//   - CE — Central Execution, the Ursa Minor approach: the objects of the
+//     participant sub-op migrate to the coordinator, the whole operation
+//     executes locally under journaling, and the updated objects migrate
+//     back.
+//
+// Each protocol provides a Server (embedding node.Base) and a Driver with
+// the same Do signature as the Cx driver, so the cluster layer and the
+// harness treat all four interchangeably.
+package baseline
+
+import (
+	"sort"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// lockTable serializes conflicting operations inside the 2PC and CE
+// servers (their correctness depends on exclusive access for the duration
+// of the transaction; Cx instead uses the active-object table).
+type lockTable struct {
+	sim  *simrt.Sim
+	held map[types.ObjKey]bool
+	q    map[types.ObjKey][]*simrt.Chan[struct{}]
+}
+
+func newLockTable(s *simrt.Sim) *lockTable {
+	return &lockTable{sim: s, held: make(map[types.ObjKey]bool), q: make(map[types.ObjKey][]*simrt.Chan[struct{}])}
+}
+
+// acquire takes all keys in a canonical order (avoiding deadlock between
+// two multi-key acquirers).
+func (lt *lockTable) acquire(p *simrt.Proc, keys []types.ObjKey) {
+	ordered := append([]types.ObjKey(nil), keys...)
+	sort.Slice(ordered, func(i, j int) bool { return objKeyLess(ordered[i], ordered[j]) })
+	for _, k := range ordered {
+		for lt.held[k] {
+			ch := simrt.NewChan[struct{}](lt.sim)
+			lt.q[k] = append(lt.q[k], ch)
+			ch.Recv(p)
+		}
+		lt.held[k] = true
+	}
+}
+
+// release frees the keys, waking one waiter per key.
+func (lt *lockTable) release(keys []types.ObjKey) {
+	for _, k := range keys {
+		if !lt.held[k] {
+			continue
+		}
+		lt.held[k] = false
+		if ws := lt.q[k]; len(ws) > 0 {
+			lt.q[k] = ws[1:]
+			ws[0].Send(struct{}{})
+		}
+	}
+}
+
+func objKeyLess(a, b types.ObjKey) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Dir != b.Dir {
+		return a.Dir < b.Dir
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Ino < b.Ino
+}

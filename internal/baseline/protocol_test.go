@@ -1,0 +1,243 @@
+// Behavioral tests of the baseline protocols' distinctive paths: SE's
+// CLEAR compensation (and its documented client-crash flaw), 2PC's abort
+// round, and CE's migration bracket.
+package baseline_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cxfs/internal/cluster"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wire"
+)
+
+func buildProto(proto cluster.Protocol) *cluster.Cluster {
+	o := cluster.DefaultOptions(4, proto)
+	o.ClientHosts = 2
+	o.ProcsPerHost = 1
+	return cluster.New(o)
+}
+
+// crossPlacement finds a (name, ino) pair with distinct coordinator and
+// participant.
+func crossPlacement(c *cluster.Cluster, pr *cluster.Process, prefix string) (string, types.InodeID, types.NodeID, types.NodeID) {
+	for try := 0; ; try++ {
+		name := fmt.Sprintf("%s-%d", prefix, try)
+		ino := pr.AllocInode()
+		coord := c.Placement.CoordinatorFor(types.RootInode, name)
+		part := c.Placement.ParticipantFor(ino)
+		if coord != part {
+			return name, ino, coord, part
+		}
+	}
+}
+
+func TestSEClearCompensatesParticipant(t *testing.T) {
+	c := buildProto(cluster.ProtoSE)
+	defer c.Shutdown()
+	done := false
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		name, ino, coord, part := crossPlacement(c, pr, "clear")
+		// Sabotage the coordinator so the second (entry) sub-op fails
+		// after the participant's inode add succeeded.
+		c.Bases[coord].Shard.SeedDentry(types.RootInode, name, 99999)
+		_, err := pr.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpCreate,
+			Parent: types.RootInode, Name: name, Ino: ino, Type: types.FileRegular})
+		if !errors.Is(err, types.ErrExists) {
+			t.Errorf("expected EEXIST, got %v", err)
+		}
+		// CLEAR must have removed the participant's provisional inode.
+		if _, ok := c.Bases[part].Shard.GetInode(ino); ok {
+			t.Error("participant inode survived; CLEAR did not compensate")
+		}
+		done = true
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !done {
+		t.Fatal("hung")
+	}
+}
+
+func TestSEClientCrashLeavesOrphan(t *testing.T) {
+	// §II.B: "if the client itself fails before sending the CLEAR message
+	// out, metadata across servers may be inconsistent, leaving orphan
+	// objects". This is SE's documented flaw — assert it exists, because
+	// it is precisely what Cx's lazy commitment repairs (see
+	// TestClientCrashBeforeLComStillConverges in internal/core).
+	c := buildProto(cluster.ProtoSE)
+	defer c.Shutdown()
+	done := false
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		name, ino, coord, part := crossPlacement(c, pr, "orphan")
+		c.Bases[coord].Shard.SeedDentry(types.RootInode, name, 99999)
+		op := types.Op{ID: pr.NextID(), Kind: types.OpCreate,
+			Parent: types.RootInode, Name: name, Ino: ino, Type: types.FileRegular}
+		_, pSub := types.Split(op)
+		host := c.Hosts[0]
+		// The client executes only the participant step, then "crashes"
+		// (never contacts the coordinator, never sends CLEAR).
+		route := host.Open(op.ID)
+		host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: op.ID, Sub: pSub, Peer: coord, ReplyProc: op.ID.Proc})
+		if m := route.Recv(p); !m.OK {
+			t.Fatalf("participant step failed: %s", m.Err)
+		}
+		host.Done(op.ID)
+		p.Sleep(2 * time.Second) // nothing in SE will ever clean this up
+		if _, ok := c.Bases[part].Shard.GetInode(ino); !ok {
+			t.Error("orphan vanished: SE should have no mechanism to clean it")
+		}
+		done = true
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !done {
+		t.Fatal("hung")
+	}
+}
+
+func TestTwoPCAbortRollsBackParticipant(t *testing.T) {
+	c := buildProto(cluster.Proto2PC)
+	defer c.Shutdown()
+	done := false
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		name, ino, coord, part := crossPlacement(c, pr, "abort")
+		c.Bases[coord].Shard.SeedDentry(types.RootInode, name, 99999)
+		_, err := pr.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpCreate,
+			Parent: types.RootInode, Name: name, Ino: ino, Type: types.FileRegular})
+		if err == nil {
+			t.Error("sabotaged create succeeded")
+		}
+		if _, ok := c.Bases[part].Shard.GetInode(ino); ok {
+			t.Error("participant execution not rolled back by ABORT-REQ")
+		}
+		// Locks must be free: the same name must be usable immediately.
+		ino2 := pr.AllocInode()
+		if _, err := pr.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpCreate,
+			Parent: types.RootInode, Name: name + "x", Ino: ino2, Type: types.FileRegular}); err != nil {
+			t.Errorf("follow-up create: %v", err)
+		}
+		done = true
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !done {
+		t.Fatal("hung — 2PC locks leaked")
+	}
+}
+
+func TestCEMigrationBracketsExecution(t *testing.T) {
+	c := buildProto(cluster.ProtoCE)
+	defer c.Shutdown()
+	done := false
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		name, ino, coord, part := crossPlacement(c, pr, "mig")
+		if _, err := pr.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpCreate,
+			Parent: types.RootInode, Name: name, Ino: ino, Type: types.FileRegular}); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		// The inode row must live at its home (participant) after the
+		// migration bracket, not at the coordinator.
+		if _, ok := c.Bases[part].Shard.GetInode(ino); !ok {
+			t.Error("inode not reinstalled at its home server")
+		}
+		if _, ok := c.Bases[coord].Shard.GetInode(ino); ok {
+			t.Error("coordinator kept a copy of the migrated inode")
+		}
+		done = true
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !done {
+		t.Fatal("hung")
+	}
+}
+
+func TestCEConcurrentOpsOnSameInodeSerialize(t *testing.T) {
+	c := buildProto(cluster.ProtoCE)
+	defer c.Shutdown()
+	done := false
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		prA, prB := c.Proc(0), c.Proc(1)
+		ino, err := prA.Create(p, types.RootInode, "ce-hot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := simrt.NewGroup(c.Sim)
+		g.Add(2)
+		c.Sim.Spawn("a", func(pp *simrt.Proc) {
+			defer g.Done()
+			if err := prA.Link(pp, types.RootInode, "ce-l1", ino); err != nil {
+				t.Errorf("link a: %v", err)
+			}
+		})
+		c.Sim.Spawn("b", func(pp *simrt.Proc) {
+			defer g.Done()
+			if err := prB.Link(pp, types.RootInode, "ce-l2", ino); err != nil {
+				t.Errorf("link b: %v", err)
+			}
+		})
+		g.Wait(p)
+		part := c.Placement.ParticipantFor(ino)
+		if in, ok := c.Bases[part].Shard.GetInode(ino); !ok || in.Nlink != 3 {
+			t.Errorf("nlink=%d, want 3 (both links applied exactly once)", in.Nlink)
+		}
+		done = true
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !done {
+		t.Fatal("hung — CE migration locks leaked")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}
+
+func TestSEBatchedFlushDaemonDrains(t *testing.T) {
+	o := cluster.DefaultOptions(2, cluster.ProtoSEBatched)
+	o.ClientHosts = 1
+	o.ProcsPerHost = 1
+	o.SEFlush = 100 * time.Millisecond
+	c := cluster.New(o)
+	defer c.Shutdown()
+	done := false
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		for j := 0; j < 10; j++ {
+			if _, err := pr.Create(p, types.RootInode, fmt.Sprintf("fl-%d", j)); err != nil {
+				t.Errorf("create: %v", err)
+			}
+		}
+		dirtyBefore := 0
+		for _, b := range c.Bases {
+			dirtyBefore += b.KV.DirtyCount()
+		}
+		if dirtyBefore == 0 {
+			t.Error("no dirty pages right after batched writes")
+		}
+		p.Sleep(400 * time.Millisecond) // several flush periods
+		for i, b := range c.Bases {
+			if n := b.KV.DirtyCount(); n != 0 {
+				t.Errorf("server %d still has %d dirty pages", i, n)
+			}
+			if b.WAL.LiveBytes() != 0 {
+				t.Errorf("server %d log not pruned after flush", i)
+			}
+		}
+		done = true
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !done {
+		t.Fatal("hung")
+	}
+}

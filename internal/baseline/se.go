@@ -1,0 +1,342 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cxfs/internal/namespace"
+	"cxfs/internal/node"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wal"
+	"cxfs/internal/wire"
+)
+
+// SEServer is the Serial Execution server (PVFS2/OrangeFS, §II.B). It has
+// no cross-server commitment at all: each sub-op persists independently and
+// the client sequences the two executions, compensating with CLEAR when the
+// second fails. Batched mode is the paper's OFS-batched: updates are logged
+// synchronously and flushed to the database lazily.
+type SEServer struct {
+	*node.Base
+	pl      namespace.Placement
+	batched bool
+	flushT  time.Duration
+
+	// pendingUndo retains the rollback for participant sub-ops until the
+	// client's CLEAR can no longer come. SE has no protocol completion
+	// signal, so the set is bounded: oldest entries are discarded — exactly
+	// the window in which a crashed client leaves orphans (§II.B's
+	// acknowledged weakness of SE).
+	pendingUndo map[types.OpID]*namespace.Undo
+	undoOrder   []types.OpID
+
+	// localOps await the batched flush (batched mode only).
+	localOps []localFlush
+}
+
+type localFlush struct {
+	id   types.OpID
+	rows []string
+}
+
+const seUndoCap = 4096
+
+// NewSEServer builds an SE server; batched selects OFS-batched behavior.
+// flushTimeout paces the batched flush daemon (ignored in sync mode).
+func NewSEServer(base *node.Base, pl namespace.Placement, batched bool, flushTimeout time.Duration) *SEServer {
+	if flushTimeout <= 0 {
+		flushTimeout = 10 * time.Second
+	}
+	return &SEServer{
+		Base: base, pl: pl, batched: batched, flushT: flushTimeout,
+		pendingUndo: make(map[types.OpID]*namespace.Undo),
+	}
+}
+
+// Start launches the inbox loop plus the write-back daemon: the batched
+// flush daemon in OFS-batched mode, or the database checkpointer in plain
+// sync mode (BDB journal appends defer the in-place page writes to it).
+func (s *SEServer) Start() {
+	s.Base.Start(s.handle)
+	if s.batched {
+		s.Sim.Spawn(fmt.Sprintf("se%d/flushd", s.ID), s.flushDaemon)
+	} else {
+		s.KV.StartCheckpointer(s.flushT)
+	}
+}
+
+func (s *SEServer) flushDaemon(p *simrt.Proc) {
+	for {
+		p.Sleep(s.flushT)
+		if s.Crashed() {
+			continue
+		}
+		s.flushLocal(p)
+	}
+}
+
+func (s *SEServer) flushLocal(p *simrt.Proc) {
+	if len(s.localOps) == 0 {
+		return
+	}
+	ops := s.localOps
+	s.localOps = nil
+	var rows []string
+	for _, lo := range ops {
+		rows = append(rows, lo.rows...)
+	}
+	s.KV.FlushKeys(p, rows)
+	if s.Crashed() {
+		return
+	}
+	for _, lo := range ops {
+		s.WAL.Prune(lo.id)
+	}
+}
+
+func (s *SEServer) handle(p *simrt.Proc, m wire.Msg) {
+	switch m.Type {
+	case wire.MsgSubOpReq:
+		s.handleSubOp(p, m)
+	case wire.MsgOpReq:
+		s.handleLocalOp(p, m)
+	case wire.MsgClear:
+		s.handleClear(p, m)
+	}
+}
+
+// persist makes an execution durable per the server's mode: plain OFS
+// writes the rows synchronously into the database; OFS-batched appends a
+// log record and defers the database write to the flush daemon.
+func (s *SEServer) persist(p *simrt.Proc, id types.OpID, sub types.SubOp, res namespace.Result) {
+	if !s.batched {
+		s.KV.SyncKeys(p, res.Rows)
+		return
+	}
+	s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: id, Role: sub.Role,
+		OK: true, Sub: sub, Before: res.Before, After: res.After})
+	if s.Crashed() {
+		return
+	}
+	s.localOps = append(s.localOps, localFlush{id: id, rows: res.Rows})
+}
+
+func (s *SEServer) handleSubOp(p *simrt.Proc, m wire.Msg) {
+	sub := m.Sub
+	s.ExecCPU(p)
+	res := s.Shard.Exec(sub, s.NowNanos())
+	if res.OK && sub.Action.Mutating() {
+		s.persist(p, sub.Op, sub, res)
+		if s.Crashed() {
+			return
+		}
+		if sub.Kind.CrossServer() && sub.Role == types.RoleParticipant {
+			s.retainUndo(sub.Op, res.Undo)
+		}
+	}
+	reply := wire.Msg{Type: wire.MsgSubOpResp, To: m.From, Op: sub.Op, OK: res.OK, Attr: res.Inode, Epoch: 1}
+	if res.Err != nil {
+		reply.Err = res.Err.Error()
+	}
+	s.Send(reply)
+}
+
+func (s *SEServer) retainUndo(id types.OpID, u *namespace.Undo) {
+	if len(s.undoOrder) >= seUndoCap {
+		drop := s.undoOrder[0]
+		s.undoOrder = s.undoOrder[1:]
+		delete(s.pendingUndo, drop)
+	}
+	s.pendingUndo[id] = u
+	s.undoOrder = append(s.undoOrder, id)
+}
+
+// handleClear compensates a participant sub-op whose coordinator-side
+// failed (§II.B: "the process withdraws the former sub-ops by sending a
+// CLEAR message").
+func (s *SEServer) handleClear(p *simrt.Proc, m wire.Msg) {
+	if u, ok := s.pendingUndo[m.Op]; ok {
+		delete(s.pendingUndo, m.Op)
+		s.Shard.ApplyUndo(u)
+		if !s.batched {
+			s.KV.SyncKeys(p, u.Keys())
+		} else {
+			s.localOps = append(s.localOps, localFlush{id: m.Op, rows: u.Keys()})
+		}
+		if s.Crashed() {
+			return
+		}
+	}
+	s.Send(wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: m.Op, OK: true})
+}
+
+// handleLocalOp executes a colocated cross-server op or a single-server
+// update locally.
+func (s *SEServer) handleLocalOp(p *simrt.Proc, m wire.Msg) {
+	op := m.FullOp
+	if op.Kind == types.OpReaddir {
+		s.ServeReaddir(m)
+		return
+	}
+	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
+	s.ExecCPU(p)
+	if op.Kind.CrossServer() {
+		cSub, pSub := types.Split(op)
+		resP := s.Shard.Exec(pSub, s.NowNanos())
+		if !resP.OK {
+			reply.OK, reply.Err = false, resP.Err.Error()
+			s.Send(reply)
+			return
+		}
+		resC := s.Shard.Exec(cSub, s.NowNanos())
+		if !resC.OK {
+			s.Shard.ApplyUndo(resP.Undo)
+			reply.OK, reply.Err = false, resC.Err.Error()
+			s.Send(reply)
+			return
+		}
+		s.persist(p, op.ID, pSub, resP)
+		if s.Crashed() {
+			return
+		}
+		s.persist(p, op.ID, cSub, resC)
+	} else {
+		sub := types.SingleSubOp(op)
+		res := s.Shard.Exec(sub, s.NowNanos())
+		reply.OK, reply.Attr = res.OK, res.Inode
+		if res.Err != nil {
+			reply.Err = res.Err.Error()
+		}
+		if res.OK && sub.Action.Mutating() {
+			s.persist(p, op.ID, sub, res)
+		}
+	}
+	if s.Crashed() {
+		return
+	}
+	s.Send(reply)
+}
+
+// SEDriver is the client side of Serial Execution: participant first, then
+// coordinator, compensating with CLEAR on a late failure (§II.B, Fig 1b).
+type SEDriver struct {
+	host *node.Host
+	pl   namespace.Placement
+}
+
+// NewSEDriver builds an SE driver bound to a client host.
+func NewSEDriver(host *node.Host, pl namespace.Placement) *SEDriver {
+	return &SEDriver{host: host, pl: pl}
+}
+
+// Do executes one metadata operation serially.
+func (d *SEDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	if !op.Kind.CrossServer() {
+		return singleServerOp(p, d.host, d.pl, op)
+	}
+	coord := d.pl.CoordinatorFor(op.Parent, op.Name)
+	part := d.pl.ParticipantFor(op.Ino)
+	if coord == part {
+		return localOpCall(p, d.host, op, coord)
+	}
+	cSub, pSub := types.Split(op)
+	route := d.host.Open(op.ID)
+	defer d.host.Done(op.ID)
+
+	// Step 1: participant executes first.
+	d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: op.ID, Sub: pSub, Peer: coord, ReplyProc: op.ID.Proc})
+	m := route.Recv(p)
+	if !m.OK {
+		return types.Inode{}, errString(m.Err)
+	}
+	// Step 2: then the coordinator.
+	d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: coord, Op: op.ID, Sub: cSub, Peer: part, ReplyProc: op.ID.Proc})
+	m = route.Recv(p)
+	if m.OK {
+		return m.Attr, nil
+	}
+	// Compensate: CLEAR the participant's execution.
+	err := errString(m.Err)
+	d.host.Send(wire.Msg{Type: wire.MsgClear, To: part, Op: op.ID, ReplyProc: op.ID.Proc})
+	route.Recv(p) // CLEAR ack
+	return types.Inode{}, err
+}
+
+// Shared client helpers -----------------------------------------------------
+
+// singleServerOp routes a read or single-server update to its owner server
+// as an OpReq (SE, 2PC, and CE all use the plain local path for these).
+func singleServerOp(p *simrt.Proc, host *node.Host, pl namespace.Placement, op types.Op) (types.Inode, error) {
+	var target types.NodeID
+	switch op.Kind {
+	case types.OpLookup:
+		target = pl.CoordinatorFor(op.Parent, op.Name)
+	default:
+		target = pl.ParticipantFor(op.Ino)
+	}
+	return localOpCall(p, host, op, target)
+}
+
+// localOpCall sends a whole op to one server and awaits the response.
+func localOpCall(p *simrt.Proc, host *node.Host, op types.Op, server types.NodeID) (types.Inode, error) {
+	route := host.Open(op.ID)
+	defer host.Done(op.ID)
+	host.Send(wire.Msg{Type: wire.MsgOpReq, To: server, Op: op.ID, FullOp: op, ReplyProc: op.ID.Proc})
+	m := route.Recv(p)
+	if m.OK {
+		return m.Attr, nil
+	}
+	return types.Inode{}, errString(m.Err)
+}
+
+// Readdir fans the listing out to every server and unions the partitions;
+// shared by every protocol driver.
+func Readdir(p *simrt.Proc, host *node.Host, servers int, id types.OpID, dir types.InodeID) ([]namespace.DirEntry, error) {
+	route := host.Open(id)
+	defer host.Done(id)
+	op := types.Op{ID: id, Kind: types.OpReaddir, Parent: dir}
+	for srv := 0; srv < servers; srv++ {
+		host.Send(wire.Msg{Type: wire.MsgOpReq, To: types.NodeID(srv), Op: id, FullOp: op, ReplyProc: id.Proc})
+	}
+	var out []namespace.DirEntry
+	for got := 0; got < servers; got++ {
+		m := route.Recv(p)
+		if !m.OK {
+			return nil, errString(m.Err)
+		}
+		for _, r := range m.Rows {
+			if len(r.Val) == 8 {
+				out = append(out, namespace.DirEntry{Name: r.Key, Ino: decodeIno(r.Val)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func decodeIno(v []byte) types.InodeID {
+	var x uint64
+	for i := 7; i >= 0; i-- {
+		x = x<<8 | uint64(v[i])
+	}
+	return types.InodeID(x)
+}
+
+// errString maps a response error back to the shared sentinel errors.
+func errString(msg string) error {
+	if msg == "" {
+		return types.ErrAborted
+	}
+	for _, known := range []error{
+		types.ErrExists, types.ErrNotFound, types.ErrNotEmpty,
+		types.ErrNotDir, types.ErrIsDir, types.ErrAborted,
+	} {
+		if msg == known.Error() || len(msg) > len(known.Error()) &&
+			msg[len(msg)-len(known.Error()):] == known.Error() {
+			return fmt.Errorf("%s: %w", msg, known)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,275 @@
+package baseline
+
+import (
+	"time"
+
+	"cxfs/internal/namespace"
+	"cxfs/internal/node"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wal"
+	"cxfs/internal/wire"
+)
+
+// TwoPCServer implements the two-phase-commit protocol of Slice, IFS,
+// Farsite, and DCFS (§II.B, Fig 1a): the client sends the whole operation
+// to the coordinator; the coordinator VOTEs the participant, both sides
+// execute and log synchronously, the coordinator decides and logs, the
+// participant applies the decision to its database synchronously and ACKs,
+// and only then does the client get its response.
+type TwoPCServer struct {
+	*node.Base
+	pl    namespace.Placement
+	locks *lockTable
+
+	// Per-operation reply routing for the coordinator's blocking RPCs.
+	voteCh map[types.OpID]*simrt.Chan[wire.Msg]
+	ackCh  map[types.OpID]*simrt.Chan[wire.Msg]
+
+	// Participant-side pending executions awaiting the decision.
+	pendingPart map[types.OpID]*pendingExec
+}
+
+type pendingExec struct {
+	sub  types.SubOp
+	ok   bool
+	undo *namespace.Undo
+	rows []string
+	keys []types.ObjKey
+}
+
+// NewTwoPCServer builds a 2PC server.
+func NewTwoPCServer(base *node.Base, pl namespace.Placement) *TwoPCServer {
+	return &TwoPCServer{
+		Base: base, pl: pl,
+		locks:       newLockTable(base.Sim),
+		voteCh:      make(map[types.OpID]*simrt.Chan[wire.Msg]),
+		ackCh:       make(map[types.OpID]*simrt.Chan[wire.Msg]),
+		pendingPart: make(map[types.OpID]*pendingExec),
+	}
+}
+
+// Start launches the inbox loop and the database checkpointer (2PC applies
+// synchronously through the journal).
+func (s *TwoPCServer) Start() {
+	s.Base.Start(s.handle)
+	s.KV.StartCheckpointer(10 * time.Second)
+}
+
+func (s *TwoPCServer) handle(p *simrt.Proc, m wire.Msg) {
+	switch m.Type {
+	case wire.MsgOpReq:
+		s.coordinate(p, m)
+	case wire.MsgVote:
+		s.participantVote(p, m)
+	case wire.MsgVoteResp:
+		if ch := s.voteCh[m.Op]; ch != nil {
+			ch.Send(m)
+		}
+	case wire.MsgCommitReq:
+		s.participantDecide(p, m)
+	case wire.MsgAck:
+		if ch := s.ackCh[m.Op]; ch != nil {
+			ch.Send(m)
+		}
+	}
+}
+
+// coordinate runs the whole transaction for one client operation.
+func (s *TwoPCServer) coordinate(p *simrt.Proc, m wire.Msg) {
+	op := m.FullOp
+	if op.Kind == types.OpReaddir {
+		s.ServeReaddir(m)
+		return
+	}
+	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
+
+	if !op.Kind.CrossServer() {
+		sub := types.SingleSubOp(op)
+		s.ExecCPU(p)
+		res := s.Shard.Exec(sub, s.NowNanos())
+		reply.OK, reply.Attr = res.OK, res.Inode
+		if res.Err != nil {
+			reply.Err = res.Err.Error()
+		}
+		if res.OK && sub.Action.Mutating() {
+			s.KV.SyncKeys(p, res.Rows)
+		}
+		if !s.Crashed() {
+			s.Send(reply)
+		}
+		return
+	}
+
+	cSub, pSub := types.Split(op)
+	part := s.pl.ParticipantFor(op.Ino)
+	local := part == s.ID
+
+	keys := cSub.Keys()
+	if local {
+		keys = append(keys, pSub.Keys()...)
+	}
+	s.locks.acquire(p, keys)
+	defer s.locks.release(keys)
+
+	// Phase 1: VOTE the participant (remote) or execute its sub-op here.
+	var partOK bool
+	if local {
+		s.ExecCPU(p)
+		resP := s.Shard.Exec(pSub, s.NowNanos())
+		partOK = resP.OK
+		if resP.OK {
+			s.pendingPart[op.ID] = &pendingExec{sub: pSub, ok: true, undo: resP.Undo, rows: resP.Rows}
+			s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleParticipant,
+				OK: true, Sub: pSub, Before: resP.Before, After: resP.After})
+		}
+	} else {
+		ch := simrt.NewChan[wire.Msg](s.Sim)
+		s.voteCh[op.ID] = ch
+		s.Send(wire.Msg{Type: wire.MsgVote, To: part, Op: op.ID, Sub: pSub, ReplyProc: m.ReplyProc})
+		vm := ch.Recv(p)
+		delete(s.voteCh, op.ID)
+		partOK = vm.OK
+	}
+	if s.Crashed() {
+		return
+	}
+
+	// Coordinator executes its own sub-op and logs the result.
+	s.ExecCPU(p)
+	resC := s.Shard.Exec(cSub, s.NowNanos())
+	s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleCoordinator,
+		OK: resC.OK, Sub: cSub, Before: resC.Before, After: resC.After})
+	if s.Crashed() {
+		return
+	}
+
+	commit := partOK && resC.OK
+
+	// Phase 2: log the decision, instruct the participant, apply locally.
+	decType := wal.RecAbort
+	if commit {
+		decType = wal.RecCommit
+	}
+	s.WAL.Append(p, wal.Record{Type: decType, Op: op.ID, Role: types.RoleCoordinator})
+	if s.Crashed() {
+		return
+	}
+
+	if local {
+		s.applyDecision(p, op.ID, commit)
+	} else if partOK {
+		ch := simrt.NewChan[wire.Msg](s.Sim)
+		s.ackCh[op.ID] = ch
+		s.Send(wire.Msg{Type: wire.MsgCommitReq, To: part, Op: op.ID,
+			Decisions: []wire.Decision{{Op: op.ID, Commit: commit}}})
+		ch.Recv(p)
+		delete(s.ackCh, op.ID)
+	}
+	if s.Crashed() {
+		return
+	}
+
+	// Apply the coordinator's side synchronously.
+	if resC.OK {
+		if commit {
+			s.KV.SyncKeys(p, resC.Rows)
+		} else {
+			s.Shard.ApplyUndo(resC.Undo)
+			s.KV.SyncKeys(p, resC.Undo.Keys())
+		}
+	}
+	s.WAL.Append(p, wal.Record{Type: wal.RecComplete, Op: op.ID, Role: types.RoleCoordinator})
+	if s.Crashed() {
+		return
+	}
+	s.WAL.Prune(op.ID)
+
+	if !commit {
+		reply.OK = false
+		if resC.Err != nil {
+			reply.Err = resC.Err.Error()
+		} else {
+			reply.Err = types.ErrAborted.Error()
+		}
+	} else {
+		reply.Attr = resC.Inode
+	}
+	s.Send(reply)
+}
+
+// participantVote executes the assigned sub-op, logs, and votes (phase 1).
+func (s *TwoPCServer) participantVote(p *simrt.Proc, m wire.Msg) {
+	sub := m.Sub
+	keys := sub.Keys()
+	s.locks.acquire(p, keys)
+	s.ExecCPU(p)
+	res := s.Shard.Exec(sub, s.NowNanos())
+	if res.OK {
+		s.pendingPart[m.Op] = &pendingExec{sub: sub, ok: true, undo: res.Undo, rows: res.Rows, keys: keys}
+		s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: m.Op, Role: types.RoleParticipant,
+			OK: true, Sub: sub, Before: res.Before, After: res.After})
+	} else {
+		s.locks.release(keys)
+	}
+	if s.Crashed() {
+		return
+	}
+	reply := wire.Msg{Type: wire.MsgVoteResp, To: m.From, Op: m.Op, OK: res.OK}
+	if res.Err != nil {
+		reply.Err = res.Err.Error()
+	}
+	s.Send(reply)
+}
+
+// participantDecide applies the coordinator's decision (phase 2).
+func (s *TwoPCServer) participantDecide(p *simrt.Proc, m wire.Msg) {
+	commit := len(m.Decisions) > 0 && m.Decisions[0].Commit
+	s.applyDecision(p, m.Op, commit)
+	if s.Crashed() {
+		return
+	}
+	s.Send(wire.Msg{Type: wire.MsgAck, To: m.From, Op: m.Op})
+}
+
+func (s *TwoPCServer) applyDecision(p *simrt.Proc, id types.OpID, commit bool) {
+	pe := s.pendingPart[id]
+	if pe == nil {
+		return
+	}
+	delete(s.pendingPart, id)
+	decType := wal.RecAbort
+	if commit {
+		decType = wal.RecCommit
+		s.KV.SyncKeys(p, pe.rows)
+	} else {
+		s.Shard.ApplyUndo(pe.undo)
+		s.KV.SyncKeys(p, pe.undo.Keys())
+	}
+	if s.Crashed() {
+		return
+	}
+	s.WAL.Append(p, wal.Record{Type: decType, Op: id, Role: types.RoleParticipant})
+	s.WAL.Prune(id)
+	s.locks.release(pe.keys)
+}
+
+// TwoPCDriver is the 2PC client: one request to the coordinator, one
+// response when the transaction has fully committed or aborted.
+type TwoPCDriver struct {
+	host *node.Host
+	pl   namespace.Placement
+}
+
+// NewTwoPCDriver builds a 2PC driver.
+func NewTwoPCDriver(host *node.Host, pl namespace.Placement) *TwoPCDriver {
+	return &TwoPCDriver{host: host, pl: pl}
+}
+
+// Do executes one metadata operation through the coordinator.
+func (d *TwoPCDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	if !op.Kind.CrossServer() {
+		return singleServerOp(p, d.host, d.pl, op)
+	}
+	return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name))
+}

@@ -1,0 +1,388 @@
+// Package cluster assembles a complete simulated deployment — N metadata
+// servers, M client hosts with P processes each, one network — for any of
+// the four protocols, mirroring the paper's testbed (§IV.B: clients are 4x
+// the servers, 8 processes per client).
+//
+// It also provides the pieces every experiment needs: per-process operation
+// sessions with ID and inode allocation, a quiesce step that forces all
+// pending commitments, and a cross-server invariant checker that verifies
+// the paper's correctness goal — atomicity of every cross-server operation
+// — after a run.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"cxfs/internal/baseline"
+	"cxfs/internal/core"
+	"cxfs/internal/namespace"
+	"cxfs/internal/node"
+	"cxfs/internal/simrt"
+	"cxfs/internal/transport"
+	"cxfs/internal/types"
+)
+
+// Protocol selects the cross-server operation protocol.
+type Protocol string
+
+// The four protocols of the paper: Cx plus the §II.B baselines.
+const (
+	ProtoCx        Protocol = "cx"         // the paper's contribution (OFS-Cx)
+	ProtoSE        Protocol = "se"         // Serial Execution, sync writes (OFS)
+	ProtoSEBatched Protocol = "se-batched" // Serial Execution + batched write-back (OFS-batched)
+	Proto2PC       Protocol = "2pc"        // two-phase commit (Slice/Farsite/DCFS)
+	ProtoCE        Protocol = "ce"         // central execution (Ursa Minor)
+)
+
+// Protocols lists every protocol, in the order benchmarks report them.
+var Protocols = []Protocol{ProtoSE, ProtoSEBatched, ProtoCx, Proto2PC, ProtoCE}
+
+// Driver is the client-side face of a protocol.
+type Driver interface {
+	Do(p *simrt.Proc, op types.Op) (types.Inode, error)
+}
+
+// Options configures a cluster.
+type Options struct {
+	Servers      int
+	ClientHosts  int // 0 = paper default (4x servers)
+	ProcsPerHost int // 0 = paper default (8)
+	Protocol     Protocol
+	Seed         int64
+
+	Hardware node.HardwareParams
+	Net      transport.Params
+	Cx       core.Config
+	// SEFlush paces the OFS-batched flush daemon.
+	SEFlush time.Duration
+}
+
+// DefaultOptions mirrors the paper's setup for n servers.
+func DefaultOptions(n int, proto Protocol) Options {
+	return Options{
+		Servers:      n,
+		ClientHosts:  4 * n,
+		ProcsPerHost: 8,
+		Protocol:     proto,
+		Seed:         1,
+		Hardware:     node.DefaultHardware(),
+		Net:          transport.DefaultParams(),
+		Cx:           core.DefaultConfig(),
+		SEFlush:      10 * time.Second,
+	}
+}
+
+// Cluster is one assembled deployment.
+type Cluster struct {
+	Opts      Options
+	Sim       *simrt.Sim
+	Net       *transport.Net
+	Placement namespace.Placement
+
+	Bases   []*node.Base
+	CxSrv   []*core.Server // non-nil only under ProtoCx
+	Hosts   []*node.Host
+	drivers []Driver // one per host
+	procs   []*Process
+}
+
+// hostID computes the node ID of client host i (servers occupy [0,N)).
+func (c *Cluster) hostID(i int) types.NodeID {
+	return types.NodeID(c.Opts.Servers + i)
+}
+
+// New builds and starts a cluster inside a fresh simulation.
+func New(opts Options) *Cluster {
+	if opts.Servers <= 0 {
+		panic("cluster: need at least one server")
+	}
+	if opts.ClientHosts == 0 {
+		opts.ClientHosts = 4 * opts.Servers
+	}
+	if opts.ProcsPerHost == 0 {
+		opts.ProcsPerHost = 8
+	}
+	sim := simrt.New(opts.Seed)
+	net := transport.New(sim, opts.Net)
+	pl := namespace.Placement{Servers: opts.Servers}
+	c := &Cluster{Opts: opts, Sim: sim, Net: net, Placement: pl}
+
+	for i := 0; i < opts.Servers; i++ {
+		base := node.NewBase(sim, net, types.NodeID(i), opts.Hardware)
+		c.Bases = append(c.Bases, base)
+		switch opts.Protocol {
+		case ProtoCx:
+			srv := core.NewServer(base, pl, opts.Cx)
+			srv.Start()
+			c.CxSrv = append(c.CxSrv, srv)
+		case ProtoSE:
+			baseline.NewSEServer(base, pl, false, opts.SEFlush).Start()
+		case ProtoSEBatched:
+			baseline.NewSEServer(base, pl, true, opts.SEFlush).Start()
+		case Proto2PC:
+			baseline.NewTwoPCServer(base, pl).Start()
+		case ProtoCE:
+			baseline.NewCEServer(base, pl).Start()
+		default:
+			panic(fmt.Sprintf("cluster: unknown protocol %q", opts.Protocol))
+		}
+	}
+	// The root directory inode lives on its placement server; a bootstrap
+	// Proc settles it into the durable image before the workload starts.
+	rootSrv := pl.ParticipantFor(types.RootInode)
+	c.Bases[rootSrv].Shard.InitRoot()
+	sim.Spawn("bootstrap", func(p *simrt.Proc) {
+		c.Bases[rootSrv].KV.FlushDirty(p)
+	})
+
+	for i := 0; i < opts.ClientHosts; i++ {
+		host := node.NewHost(sim, net, c.hostID(i))
+		c.Hosts = append(c.Hosts, host)
+		switch opts.Protocol {
+		case ProtoCx:
+			c.drivers = append(c.drivers, core.NewDriver(host, pl))
+		case ProtoSE, ProtoSEBatched:
+			c.drivers = append(c.drivers, baseline.NewSEDriver(host, pl))
+		case Proto2PC:
+			c.drivers = append(c.drivers, baseline.NewTwoPCDriver(host, pl))
+		case ProtoCE:
+			c.drivers = append(c.drivers, baseline.NewCEDriver(host, pl))
+		}
+	}
+	for h := 0; h < opts.ClientHosts; h++ {
+		for i := 0; i < opts.ProcsPerHost; i++ {
+			pid := types.ProcID{Client: c.hostID(h), Index: int32(i)}
+			idx := len(c.procs)
+			c.procs = append(c.procs, &Process{
+				ID: pid, cluster: c, driver: c.drivers[h],
+				alloc: namespace.NewInodeAlloc(pl, uint64(1+idx)<<32),
+			})
+		}
+	}
+	return c
+}
+
+// NumProcs returns the total application process count.
+func (c *Cluster) NumProcs() int { return len(c.procs) }
+
+// Proc returns process i.
+func (c *Cluster) Proc(i int) *Process { return c.procs[i] }
+
+// Shutdown tears the simulation down; the cluster is unusable afterwards.
+func (c *Cluster) Shutdown() { c.Sim.Shutdown() }
+
+// Process is one application process: it issues operations sequentially
+// (the paper's process-centric model) with its own ID sequence and inode
+// allocator.
+type Process struct {
+	ID      types.ProcID
+	cluster *Cluster
+	driver  Driver
+	alloc   *namespace.InodeAlloc
+	seq     uint64
+	rngInit bool
+	rngLane uint64
+}
+
+// NextID mints the next operation ID.
+func (pr *Process) NextID() types.OpID {
+	pr.seq++
+	return types.OpID{Proc: pr.ID, Seq: pr.seq}
+}
+
+// AllocInode picks a pseudo-random placement server and mints an inode
+// there, emulating OrangeFS's random inode placement.
+func (pr *Process) AllocInode() types.InodeID {
+	// Cheap deterministic lane per process: splitmix-style step.
+	if !pr.rngInit {
+		pr.rngLane = uint64(pr.ID.Client)<<32 ^ uint64(uint32(pr.ID.Index))<<8 ^ 0x9e3779b97f4a7c15
+		pr.rngInit = true
+	}
+	pr.rngLane ^= pr.rngLane << 13
+	pr.rngLane ^= pr.rngLane >> 7
+	pr.rngLane ^= pr.rngLane << 17
+	srv := types.NodeID(pr.rngLane % uint64(pr.cluster.Opts.Servers))
+	return pr.alloc.Next(srv)
+}
+
+// Do issues a fully-formed operation.
+func (pr *Process) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	return pr.driver.Do(p, op)
+}
+
+// Create makes a regular file and returns its inode number.
+func (pr *Process) Create(p *simrt.Proc, dir types.InodeID, name string) (types.InodeID, error) {
+	ino := pr.AllocInode()
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpCreate,
+		Parent: dir, Name: name, Ino: ino, Type: types.FileRegular})
+	return ino, err
+}
+
+// Mkdir makes a directory and returns its inode number.
+func (pr *Process) Mkdir(p *simrt.Proc, dir types.InodeID, name string) (types.InodeID, error) {
+	ino := pr.AllocInode()
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpMkdir,
+		Parent: dir, Name: name, Ino: ino, Type: types.FileDir})
+	return ino, err
+}
+
+// Remove unlinks a file by (dir, name, ino).
+func (pr *Process) Remove(p *simrt.Proc, dir types.InodeID, name string, ino types.InodeID) error {
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpRemove,
+		Parent: dir, Name: name, Ino: ino})
+	return err
+}
+
+// Rmdir removes a directory.
+func (pr *Process) Rmdir(p *simrt.Proc, dir types.InodeID, name string, ino types.InodeID) error {
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpRmdir,
+		Parent: dir, Name: name, Ino: ino})
+	return err
+}
+
+// Link adds a hard link to ino at (dir, name).
+func (pr *Process) Link(p *simrt.Proc, dir types.InodeID, name string, ino types.InodeID) error {
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpLink,
+		Parent: dir, Name: name, Ino: ino})
+	return err
+}
+
+// Unlink removes a hard link.
+func (pr *Process) Unlink(p *simrt.Proc, dir types.InodeID, name string, ino types.InodeID) error {
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpUnlink,
+		Parent: dir, Name: name, Ino: ino})
+	return err
+}
+
+// Readdir lists directory dir by querying every server's partition.
+func (pr *Process) Readdir(p *simrt.Proc, dir types.InodeID) ([]namespace.DirEntry, error) {
+	host := pr.cluster.Hosts[int(pr.ID.Client)-pr.cluster.Opts.Servers]
+	return baseline.Readdir(p, host, pr.cluster.Opts.Servers, pr.NextID(), dir)
+}
+
+// Rename moves (dir, name, ino) to (newDir, newName). Under Cx this runs
+// as the eager two-server transaction of the rename extension; the
+// baselines route it through their coordinator paths.
+func (pr *Process) Rename(p *simrt.Proc, dir types.InodeID, name string, ino types.InodeID, newDir types.InodeID, newName string) error {
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpRename,
+		Parent: dir, Name: name, Ino: ino, NewParent: newDir, NewName: newName})
+	return err
+}
+
+// Stat reads inode attributes.
+func (pr *Process) Stat(p *simrt.Proc, ino types.InodeID) (types.Inode, error) {
+	return pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpStat, Ino: ino})
+}
+
+// Lookup resolves (dir, name).
+func (pr *Process) Lookup(p *simrt.Proc, dir types.InodeID, name string) (types.Inode, error) {
+	return pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpLookup, Parent: dir, Name: name})
+}
+
+// SetAttr touches inode attributes (single-server update).
+func (pr *Process) SetAttr(p *simrt.Proc, ino types.InodeID) error {
+	_, err := pr.driver.Do(p, types.Op{ID: pr.NextID(), Kind: types.OpSetAttr, Ino: ino})
+	return err
+}
+
+// MsgStats snapshots the network counters.
+func (c *Cluster) MsgStats() transport.Stats { return c.Net.Stats() }
+
+// Quiesce drives every pending Cx commitment to completion and flushes all
+// servers, so invariant checks compare settled state. For the baselines it
+// just flushes. Call from a Proc after the workload drains.
+func (c *Cluster) Quiesce(p *simrt.Proc) {
+	if c.Opts.Protocol == ProtoCx {
+		for tries := 0; tries < 1000; tries++ {
+			pending := 0
+			for _, srv := range c.CxSrv {
+				pending += srv.PendingOps()
+			}
+			if pending == 0 {
+				break
+			}
+			for _, srv := range c.CxSrv {
+				if srv.PendingOps() > 0 {
+					srv.KickCommit()
+				}
+			}
+			p.Sleep(50 * time.Millisecond)
+		}
+	}
+	// Let in-flight batches and flush daemons settle.
+	p.Sleep(200 * time.Millisecond)
+	for _, b := range c.Bases {
+		b.KV.FlushDirty(p)
+	}
+}
+
+// CheckInvariants verifies cross-server atomicity and namespace coherence
+// after quiescence:
+//
+//  1. every dentry points at an inode that exists with nlink >= 1,
+//  2. every regular file's nlink equals the number of dentries referencing
+//     it (directories are checked for existence only), and
+//  3. no server still marks objects active (Cx only).
+//
+// It returns a list of violations (empty = consistent).
+func (c *Cluster) CheckInvariants() []string {
+	var bad []string
+	// Gather all dentries and inodes cluster-wide.
+	type dent struct {
+		dir  types.InodeID
+		name string
+		ino  types.InodeID
+	}
+	var dents []dent
+	inodes := make(map[types.InodeID]types.Inode)
+	for _, b := range c.Bases {
+		b.KV.Range(func(key string, val []byte) bool {
+			var dir, ino uint64
+			var name string
+			if n, err := fmt.Sscanf(key, "d/%d/%s", &dir, &name); err == nil && n == 2 {
+				if len(val) == 8 {
+					var v uint64
+					for i := 7; i >= 0; i-- {
+						v = v<<8 | uint64(val[i])
+					}
+					dents = append(dents, dent{types.InodeID(dir), name, types.InodeID(v)})
+				}
+				return true
+			}
+			if n, err := fmt.Sscanf(key, "i/%d", &ino); err == nil && n == 1 {
+				sh := c.Bases[c.Placement.ParticipantFor(types.InodeID(ino))].Shard
+				if in, ok := sh.GetInode(types.InodeID(ino)); ok {
+					inodes[in.Ino] = in
+				}
+			}
+			return true
+		})
+	}
+	refs := make(map[types.InodeID]uint32)
+	for _, d := range dents {
+		refs[d.ino]++
+		in, ok := inodes[d.ino]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("dentry (%d,%q) -> missing inode %d", d.dir, d.name, d.ino))
+			continue
+		}
+		if in.Nlink < 1 {
+			bad = append(bad, fmt.Sprintf("dentry (%d,%q) -> dead inode %d", d.dir, d.name, d.ino))
+		}
+	}
+	for ino, in := range inodes {
+		if in.Type == types.FileRegular && in.Nlink != refs[ino] {
+			bad = append(bad, fmt.Sprintf("inode %d nlink=%d but %d dentries reference it", ino, in.Nlink, refs[ino]))
+		}
+		if in.Type == types.FileRegular && refs[ino] == 0 {
+			bad = append(bad, fmt.Sprintf("orphan inode %d (nlink=%d, no dentry)", ino, in.Nlink))
+		}
+	}
+	for i, srv := range c.CxSrv {
+		if n := srv.ActiveObjects(); n != 0 {
+			bad = append(bad, fmt.Sprintf("server %d still holds %d active objects", i, n))
+		}
+	}
+	return bad
+}

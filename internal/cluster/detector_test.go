@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+func TestDetectorSuspectsCrashedServerWithinBound(t *testing.T) {
+	c := New(smallOptions(ProtoCx))
+	defer c.Shutdown()
+	d := NewFailureDetector(c, 50*time.Millisecond, 150*time.Millisecond)
+	var suspectedAt time.Duration
+	var who types.NodeID = -1
+	d.OnSuspect = func(srv types.NodeID, at time.Duration) {
+		who, suspectedAt = srv, at
+	}
+	var crashAt time.Duration
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		p.Sleep(300 * time.Millisecond) // steady state first
+		crashAt = p.Now()
+		c.Bases[2].Crash()
+		p.Sleep(500 * time.Millisecond)
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if who != 2 {
+		t.Fatalf("suspected %v, want server 2", who)
+	}
+	latency := suspectedAt - crashAt
+	if latency < d.Timeout || latency > d.Timeout+2*d.Interval {
+		t.Errorf("detection latency %v outside [%v, %v]", latency, d.Timeout, d.Timeout+2*d.Interval)
+	}
+}
+
+func TestDetectorClearsAfterReboot(t *testing.T) {
+	c := New(smallOptions(ProtoCx))
+	defer c.Shutdown()
+	d := NewFailureDetector(c, 40*time.Millisecond, 120*time.Millisecond)
+	var recoveredAt time.Duration
+	d.OnRecover = func(srv types.NodeID, at time.Duration) { recoveredAt = at }
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		p.Sleep(200 * time.Millisecond)
+		c.Bases[1].Crash()
+		p.Sleep(400 * time.Millisecond)
+		if !d.Suspected(1) {
+			t.Error("server 1 not suspected while down")
+		}
+		c.Bases[1].Reboot()
+		c.CxSrv[1].Recover(p)
+		p.Sleep(300 * time.Millisecond)
+		if d.Suspected(1) {
+			t.Error("suspicion not cleared after reboot")
+		}
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if recoveredAt == 0 {
+		t.Error("OnRecover never fired")
+	}
+}
+
+func TestDetectorQuietOnHealthyCluster(t *testing.T) {
+	c := New(smallOptions(ProtoCx))
+	defer c.Shutdown()
+	d := NewFailureDetector(c, 30*time.Millisecond, 90*time.Millisecond)
+	d.OnSuspect = func(srv types.NodeID, at time.Duration) {
+		t.Errorf("false suspicion of %v at %v", srv, at)
+	}
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		for j := 0; j < 20; j++ {
+			pr.Create(p, types.RootInode, "h"+string(rune('a'+j)))
+			p.Sleep(30 * time.Millisecond)
+		}
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+}

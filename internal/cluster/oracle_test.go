@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// oracleFile is the client-side model of one file it owns.
+type oracleFile struct {
+	name   string
+	ino    types.InodeID
+	exists bool
+	links  []string // extra link names currently live
+}
+
+// TestRandomWorkloadMatchesClientOracle drives randomized multi-process
+// workloads under every protocol and checks, after quiescence, that the
+// settled namespace matches exactly what each client observed succeed:
+// every file a client saw created (and not removed) resolves to its inode;
+// every file it saw removed is gone; link counts match. Several seeds per
+// protocol; each run is deterministic.
+func TestRandomWorkloadMatchesClientOracle(t *testing.T) {
+	for _, proto := range Protocols {
+		for seed := int64(1); seed <= 3; seed++ {
+			proto, seed := proto, seed
+			t.Run(fmt.Sprintf("%s/seed%d", proto, seed), func(t *testing.T) {
+				runOracle(t, proto, seed)
+			})
+		}
+	}
+}
+
+func runOracle(t *testing.T, proto Protocol, seed int64) {
+	o := DefaultOptions(4, proto)
+	o.ClientHosts = 4
+	o.ProcsPerHost = 2
+	o.Seed = seed
+	o.Cx.Timeout = 200 * time.Millisecond
+	c := New(o)
+	defer c.Shutdown()
+
+	models := make([]map[string]*oracleFile, c.NumProcs())
+	dirs := make([]types.InodeID, c.NumProcs())
+
+	runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
+		rng := rand.New(rand.NewSource(seed*1000 + int64(idx)))
+		model := map[string]*oracleFile{}
+		models[idx] = model
+		dir, err := pr.Mkdir(p, types.RootInode, fmt.Sprintf("o%d", idx))
+		if err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		dirs[idx] = dir
+		var live []*oracleFile
+		for step := 0; step < 40; step++ {
+			switch r := rng.Float64(); {
+			case r < 0.4 || len(live) == 0:
+				name := fmt.Sprintf("f%03d", step)
+				ino, err := pr.Create(p, dir, name)
+				if err != nil {
+					t.Errorf("create %s: %v", name, err)
+					continue
+				}
+				f := &oracleFile{name: name, ino: ino, exists: true}
+				model[name] = f
+				live = append(live, f)
+			case r < 0.55:
+				f := live[rng.Intn(len(live))]
+				// Remove only when no extra links remain (keeps the model
+				// simple: the dentry disappears, inode freed at nlink 0).
+				if len(f.links) > 0 {
+					continue
+				}
+				if err := pr.Remove(p, dir, f.name, f.ino); err != nil {
+					t.Errorf("remove %s: %v", f.name, err)
+					continue
+				}
+				f.exists = false
+				for i, lf := range live {
+					if lf == f {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			case r < 0.7:
+				f := live[rng.Intn(len(live))]
+				lname := fmt.Sprintf("%s.l%d", f.name, len(f.links))
+				if err := pr.Link(p, dir, lname, f.ino); err != nil {
+					t.Errorf("link %s: %v", lname, err)
+					continue
+				}
+				f.links = append(f.links, lname)
+			case r < 0.8 && len(live) > 0:
+				f := live[rng.Intn(len(live))]
+				if len(f.links) == 0 {
+					continue
+				}
+				lname := f.links[len(f.links)-1]
+				if err := pr.Unlink(p, dir, lname, f.ino); err != nil {
+					t.Errorf("unlink %s: %v", lname, err)
+					continue
+				}
+				f.links = f.links[:len(f.links)-1]
+			default:
+				f := live[rng.Intn(len(live))]
+				if _, err := pr.Stat(p, f.ino); err != nil {
+					t.Errorf("stat %s: %v", f.name, err)
+				}
+			}
+		}
+	})
+
+	// Verify the settled state against every process's model.
+	verifyDone := false
+	c.Sim.Rearm()
+	c.Sim.Spawn("verify", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		for idx, model := range models {
+			if model == nil {
+				continue
+			}
+			dir := dirs[idx]
+			for _, f := range model {
+				got, err := pr.Lookup(p, dir, f.name)
+				if f.exists {
+					if err != nil || got.Ino != f.ino {
+						t.Errorf("%s/seed: %s should exist as %d (got %d, %v)", proto, f.name, f.ino, got.Ino, err)
+					}
+					in, err := pr.Stat(p, f.ino)
+					if err != nil || int(in.Nlink) != 1+len(f.links) {
+						t.Errorf("%s: %s nlink=%d, want %d", proto, f.name, in.Nlink, 1+len(f.links))
+					}
+				} else if !errors.Is(err, types.ErrNotFound) {
+					t.Errorf("%s: removed %s still resolves (%v)", proto, f.name, err)
+				}
+				for _, lname := range f.links {
+					if got, err := pr.Lookup(p, dir, lname); err != nil || got.Ino != f.ino {
+						t.Errorf("%s: link %s lost (%v)", proto, lname, err)
+					}
+				}
+			}
+			// Readdir agrees with the model's live entry count.
+			wantEntries := 0
+			for _, f := range model {
+				if f.exists {
+					wantEntries += 1 + len(f.links)
+				}
+			}
+			entries, err := pr.Readdir(p, dir)
+			if err != nil || len(entries) != wantEntries {
+				t.Errorf("%s: readdir o%d -> %d entries, want %d (%v)", proto, idx, len(entries), wantEntries, err)
+			}
+		}
+		verifyDone = true
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !verifyDone {
+		t.Fatal("verification hung")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"cxfs/internal/stats"
+)
+
+// ServerReport is one server's resource and protocol summary.
+type ServerReport struct {
+	Server       int
+	MsgsHandled  uint64
+	SubOpsRun    uint64
+	DiskBusy     time.Duration
+	DiskPasses   uint64
+	DiskMerged   uint64
+	WALAppends   uint64
+	WALRecords   uint64
+	WALLiveBytes int64
+	KVRows       int
+	KVDirty      int
+	// Cx-only protocol counters (zero under baselines).
+	Conflicts   uint64
+	Immediate   uint64
+	LazyBatches uint64
+	Committed   uint64
+	Aborted     uint64
+	Pending     int
+}
+
+// Report snapshots every server's counters — the operational view an
+// operator of the real system would watch.
+func (c *Cluster) Report() []ServerReport {
+	out := make([]ServerReport, 0, len(c.Bases))
+	for i, b := range c.Bases {
+		ds := b.Disk.Stats()
+		ws := b.WAL.Stats()
+		r := ServerReport{
+			Server:       i,
+			MsgsHandled:  b.Stats().MsgsHandled,
+			SubOpsRun:    b.Stats().SubOpsRun,
+			DiskBusy:     ds.BusyTime,
+			DiskPasses:   ds.MechOps,
+			DiskMerged:   ds.Merged,
+			WALAppends:   ws.Appends,
+			WALRecords:   ws.Records,
+			WALLiveBytes: b.WAL.LiveBytes(),
+			KVRows:       b.KV.Len(),
+			KVDirty:      b.KV.DirtyCount(),
+		}
+		if i < len(c.CxSrv) && c.Opts.Protocol == ProtoCx {
+			st := c.CxSrv[i].Stats()
+			r.Conflicts = st.Conflicts
+			r.Immediate = st.ImmediateCommits
+			r.LazyBatches = st.LazyBatches
+			r.Committed = st.OpsCommitted
+			r.Aborted = st.OpsAborted
+			r.Pending = c.CxSrv[i].PendingOps()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ReportTable renders the per-server report.
+func (c *Cluster) ReportTable() *stats.Table {
+	tbl := stats.NewTable(fmt.Sprintf("Per-server report (%s, %d servers)", c.Opts.Protocol, c.Opts.Servers),
+		"srv", "msgs", "subops", "disk-busy", "passes", "merged", "wal-app", "wal-rec", "live", "kv-rows", "dirty", "conf", "imm", "lazy", "commit", "abort", "pend")
+	for _, r := range c.Report() {
+		tbl.Add(r.Server, r.MsgsHandled, r.SubOpsRun, r.DiskBusy, r.DiskPasses, r.DiskMerged,
+			r.WALAppends, r.WALRecords, r.WALLiveBytes, r.KVRows, r.KVDirty,
+			r.Conflicts, r.Immediate, r.LazyBatches, r.Committed, r.Aborted, r.Pending)
+	}
+	return tbl
+}

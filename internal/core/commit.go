@@ -1,0 +1,507 @@
+package core
+
+import (
+	"time"
+
+	"cxfs/internal/namespace"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wal"
+	"cxfs/internal/wire"
+)
+
+// requestCommit launches an immediate commitment for op (conflict detection,
+// L-COM, or C-NOTIFY). If this server coordinates op, the commit daemon is
+// kicked; if it participates, the coordinator is notified; if op is not yet
+// known here (its sub-op is still in flight), the request is remembered and
+// replayed when the sub-op executes.
+func (s *Server) requestCommit(op types.OpID, lcom bool) {
+	s.requestCommitFrom(op, lcom, -1)
+}
+
+// requestCommitFrom is requestCommit with the requester recorded, so a
+// request for an operation this server never learns about can expire into
+// a presumed abort answered back to the requester.
+func (s *Server) requestCommitFrom(op types.OpID, lcom bool, from types.NodeID) {
+	if co := s.pendingCoord[op]; co != nil {
+		if lcom {
+			co.lcom = true
+		}
+		if !co.committing {
+			s.stats.ImmediateCommits++
+			s.kick.Send(kickReq{ops: []types.OpID{op}})
+		}
+		return
+	}
+	if po := s.pendingPart[op]; po != nil {
+		if !po.committing {
+			s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: po.coordinator, Op: op})
+		}
+		return
+	}
+	if s.tombstones[op] {
+		if from >= 0 && !lcom {
+			// Already aborted here: answer the nudging participant so it
+			// can abort its side too.
+			s.Send(wire.Msg{Type: wire.MsgCommitReq, To: from, Op: op,
+				Decisions: []wire.Decision{{Op: op, Commit: false}}})
+		}
+		return
+	}
+	if len(s.wantCommit) > 4096 {
+		s.wantCommit = make(map[types.OpID]wantEntry) // bounded backstop
+	}
+	e, ok := s.wantCommit[op]
+	if !ok {
+		e = wantEntry{at: s.Sim.Now(), from: from}
+	}
+	e.lcom = e.lcom || lcom
+	if from >= 0 {
+		e.from = from
+	}
+	s.wantCommit[op] = e
+}
+
+// expireWantCommit presumes-abort any remembered commitment request whose
+// operation never materialized here within VoteWait: the coordinator-side
+// execution died (with a crash or a dropped message), so the client cannot
+// have completed the operation, and both the requester and any future
+// arrival of the sub-op must see it aborted.
+func (s *Server) expireWantCommit() {
+	now := s.Sim.Now()
+	for op, e := range s.wantCommit {
+		if now-e.at <= s.cfg.VoteWait {
+			continue
+		}
+		delete(s.wantCommit, op)
+		s.tombstone(op)
+		s.stats.OpsAborted++
+		if e.lcom {
+			s.Send(wire.Msg{Type: wire.MsgAllNo, To: op.Proc.Client, Op: op})
+		} else if e.from >= 0 {
+			s.Send(wire.Msg{Type: wire.MsgCommitReq, To: e.from, Op: op,
+				Decisions: []wire.Decision{{Op: op, Commit: false}}})
+		}
+	}
+}
+
+// commitDaemon serializes commitment batches: it wakes on immediate kicks,
+// on the timeout trigger, and on log-full pressure.
+func (s *Server) commitDaemon(p *simrt.Proc) {
+	for {
+		var req kickReq
+		var got bool
+		if s.cfg.Timeout > 0 {
+			req, got = s.kick.RecvTimeout(p, s.cfg.Timeout)
+			if !got {
+				req = kickReq{lazy: true}
+				s.stats.LazyBatches++
+			}
+		} else {
+			var ok bool
+			req, ok = s.kick.RecvOK(p)
+			if !ok {
+				return
+			}
+		}
+		if s.Crashed() {
+			continue
+		}
+		s.runCommit(p, req)
+		if req.lazy {
+			// Housekeeping that rides the lazy tick: presume-abort orphaned
+			// commitment requests, and nudge coordinators of participant
+			// executions that have waited a full trigger period (their
+			// coordinator may have crashed before learning of the op).
+			s.expireWantCommit()
+			for _, po := range s.pendingPart {
+				if !po.committing && s.Sim.Now()-po.since > s.lazyPeriod() {
+					s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: po.coordinator, Op: po.id})
+				}
+			}
+		}
+	}
+}
+
+// lazyPeriod is the effective lazy-trigger interval used for staleness
+// checks (falls back to VoteWait when the timeout trigger is disabled).
+func (s *Server) lazyPeriod() time.Duration {
+	if s.cfg.Timeout > 0 {
+		return s.cfg.Timeout
+	}
+	return s.cfg.VoteWait
+}
+
+// runCommit executes one commitment batch.
+func (s *Server) runCommit(p *simrt.Proc, req kickReq) {
+	var targets []*coordOp
+	if req.ops != nil {
+		seen := make(map[types.OpID]bool)
+		parts := make(map[types.NodeID]bool)
+		for _, id := range req.ops {
+			if co := s.pendingCoord[id]; co != nil && !co.committing {
+				targets = append(targets, co)
+				seen[id] = true
+				parts[co.participant] = true
+			}
+		}
+		// Piggyback: an immediate commitment's VOTE/COMMIT-REQ/append can
+		// carry every other pending operation bound for the same
+		// participant at no extra message or log-write cost — they would
+		// have needed their own batch later anyway, so conflicts stop
+		// multiplying individual log writes.
+		if !s.cfg.NoPiggyback {
+			for _, co := range s.pendingCoord {
+				if !co.committing && !seen[co.id] && parts[co.participant] {
+					targets = append(targets, co)
+					seen[co.id] = true
+				}
+			}
+		}
+	} else {
+		for _, co := range s.pendingCoord {
+			if !co.committing {
+				targets = append(targets, co)
+			}
+		}
+	}
+	// Group by participant; each group is one VOTE / COMMIT-REQ / ACK round.
+	groups := make(map[types.NodeID][]*coordOp)
+	var order []types.NodeID
+	for _, co := range targets {
+		co.committing = true
+		if _, seen := groups[co.participant]; !seen {
+			order = append(order, co.participant)
+		}
+		groups[co.participant] = append(groups[co.participant], co)
+	}
+	g := simrt.NewGroup(s.Sim)
+	g.Add(len(order))
+	for _, part := range order {
+		part, cops := part, groups[part]
+		s.Sim.Spawn("cx/commit-group", func(gp *simrt.Proc) {
+			defer g.Done()
+			s.groupCommit(gp, part, cops)
+		})
+	}
+	g.Wait(p)
+
+	if req.lazy {
+		s.drainFlushQ(p)
+	}
+}
+
+// drainFlushQ writes back the database pages of every committed (or
+// aborted-and-rolled-back) operation in one merged burst — "submitting
+// batched modifications into BDB" (§IV.C.1) — and only then prunes their
+// log records, so recovery can always redo from the log.
+func (s *Server) drainFlushQ(p *simrt.Proc) {
+	if len(s.flushQ) == 0 {
+		return
+	}
+	ops := s.flushQ
+	s.flushQ = nil
+	var rows []string
+	for _, fe := range ops {
+		rows = append(rows, fe.rows...)
+	}
+	s.KV.FlushKeys(p, rows)
+	if s.Crashed() {
+		return
+	}
+	for _, fe := range ops {
+		s.WAL.Prune(fe.id)
+	}
+}
+
+// groupCommit runs the commitment phase (§III.B steps 3-7) for a batch of
+// operations sharing one participant.
+func (s *Server) groupCommit(p *simrt.Proc, part types.NodeID, cops []*coordOp) {
+	ids := make([]types.OpID, len(cops))
+	var enforce []types.OpID
+	for i, co := range cops {
+		ids[i] = co.id
+		// The coordinator's execution order: every cross-server sub-op
+		// blocked here behind this operation follows it.
+		for _, br := range s.waiters[co.id] {
+			if br.msg.Sub.Kind.CrossServer() {
+				enforce = append(enforce, br.msg.Sub.Op)
+			}
+		}
+	}
+
+	// Step 3: VOTE (retried until the participant answers — it may be
+	// rebooting).
+	votes := s.rpcVotes(p, part, ids, enforce)
+	if s.Crashed() {
+		return
+	}
+
+	// Step 5: decide, log Commit/Abort-Records in one batched append, roll
+	// back aborted local executions, and flush this batch's rows together.
+	recs := make([]wal.Record, 0, len(cops))
+	decisions := make([]wire.Decision, 0, len(cops))
+	flushRowsOf := make([][]string, len(cops))
+	for i, co := range cops {
+		commit := votes[co.id] && co.ok
+		decisions = append(decisions, wire.Decision{Op: co.id, Commit: commit})
+		if commit {
+			recs = append(recs, wal.Record{Type: wal.RecCommit, Op: co.id, Role: types.RoleCoordinator})
+			flushRowsOf[i] = co.rows
+		} else {
+			recs = append(recs, wal.Record{Type: wal.RecAbort, Op: co.id, Role: types.RoleCoordinator})
+			if co.ok {
+				flushRowsOf[i] = s.rollback(co.undo, co.beforeImgs)
+			}
+			s.tombstone(co.id)
+		}
+	}
+	s.WAL.AppendBatchPriority(p, recs)
+	if s.Crashed() {
+		return
+	}
+
+	// Step 5-6: COMMIT-REQ/ABORT-REQ, await ACK (retried).
+	s.rpcAck(p, part, ids, decisions)
+	if s.Crashed() {
+		return
+	}
+
+	// Step 7: Complete-Records, prune, release followers, answer ALL-NO for
+	// aborted operations.
+	comp := make([]wal.Record, 0, len(cops))
+	for _, co := range cops {
+		comp = append(comp, wal.Record{Type: wal.RecComplete, Op: co.id, Role: types.RoleCoordinator})
+	}
+	s.WAL.AppendBatchPriority(p, comp)
+	if s.Crashed() {
+		return
+	}
+	for i, co := range cops {
+		delete(s.pendingCoord, co.id)
+		s.cacheReply(co.id, finalReply(co.id, co.lastResp, decisions[i].Commit, co.client))
+		s.completeOp(co.id, co.sub)
+		// Database write-back is deferred: the decision records are
+		// durable, so the pages join the flush queue and drain with the
+		// next lazy batch; the log records prune only after that flush.
+		s.flushQ = append(s.flushQ, flushEntry{id: co.id, rows: flushRowsOf[i]})
+		if decisions[i].Commit {
+			s.stats.OpsCommitted++
+		} else {
+			s.stats.OpsAborted++
+			// 7b: ALL-NO tells the process every successful execution was
+			// aborted. Sent on every abort so an L-COM racing a lazy batch
+			// still gets its answer; completed clients drop it.
+			s.Send(wire.Msg{Type: wire.MsgAllNo, To: co.client, Op: co.id})
+		}
+	}
+}
+
+// rpcVotes sends a batched VOTE and returns the participant's votes,
+// retrying across participant crashes.
+func (s *Server) rpcVotes(p *simrt.Proc, part types.NodeID, ids, enforce []types.OpID) map[types.OpID]bool {
+	ch := simrt.NewChan[wire.Msg](s.Sim)
+	s.voteResp[part] = ch
+	defer func() { delete(s.voteResp, part) }()
+	for {
+		s.Send(wire.Msg{Type: wire.MsgVote, To: part, Ops: ids, Enforce: enforce})
+		m, ok := ch.RecvTimeout(p, s.cfg.RetryInterval+s.cfg.VoteWait)
+		if s.Crashed() {
+			return nil
+		}
+		if ok {
+			votes := make(map[types.OpID]bool, len(m.Votes))
+			for _, v := range m.Votes {
+				votes[v.Op] = v.OK
+			}
+			return votes
+		}
+	}
+}
+
+// rpcAck sends the batched COMMIT-REQ/ABORT-REQ and waits for the ACK,
+// retrying across participant crashes. The participant's handler is
+// idempotent.
+func (s *Server) rpcAck(p *simrt.Proc, part types.NodeID, ids []types.OpID, decisions []wire.Decision) {
+	ch := simrt.NewChan[wire.Msg](s.Sim)
+	s.ackResp[part] = ch
+	defer func() { delete(s.ackResp, part) }()
+	for {
+		s.Send(wire.Msg{Type: wire.MsgCommitReq, To: part, Ops: ids, Decisions: decisions})
+		if _, ok := ch.RecvTimeout(p, s.cfg.RetryInterval); ok || s.Crashed() {
+			return
+		}
+	}
+}
+
+// handleVote answers a batched VOTE (§III.B step 4): each vote reflects the
+// Result-Record of the corresponding sub-op, resolving blocked or in-flight
+// sub-ops first per the conflict rules.
+func (s *Server) handleVote(p *simrt.Proc, m wire.Msg) {
+	enforce := make(map[types.OpID]bool, len(m.Enforce))
+	for _, id := range m.Enforce {
+		enforce[id] = true
+	}
+	votes := make([]wire.Vote, len(m.Ops))
+	for i, id := range m.Ops {
+		votes[i] = wire.Vote{Op: id, OK: s.resolveVote(p, id, enforce)}
+		if s.Crashed() {
+			return
+		}
+	}
+	s.Send(wire.Msg{Type: wire.MsgVoteResp, To: m.From, Votes: votes})
+}
+
+// resolveVote produces this server's YES/NO for one operation. The sub-op
+// may be executed (answer from its record), blocked behind another pending
+// operation (apply the ordered/disordered conflict rules), or still in
+// flight (wait for arrival). A bounded wait backstops pathological chains;
+// timing out votes NO, which is safe because an operation that has not
+// executed here cannot have been completed by its client.
+func (s *Server) resolveVote(p *simrt.Proc, id types.OpID, enforce map[types.OpID]bool) bool {
+	deadline := s.Sim.Now() + s.cfg.VoteWait
+	for {
+		if po := s.pendingPart[id]; po != nil {
+			po.committing = true
+			return po.ok
+		}
+		if s.tombstones[id] {
+			return false
+		}
+		remaining := deadline - s.Sim.Now()
+		if remaining <= 0 {
+			s.stats.VoteTimeouts++
+			s.tombstone(id) // the sub-op must not execute after this NO
+			if br := s.blockedOf[id]; br != nil {
+				s.unblock(br)
+			}
+			return false
+		}
+		if br := s.blockedOf[id]; br != nil {
+			holder := br.holder
+			if enforce[holder] && s.canInvalidate(holder) {
+				// Disordered conflict: the coordinator ordered id before
+				// holder, but we executed holder first. Invalidate it and
+				// execute id now (§III.C step 4).
+				if s.invalidate(p, holder, id) {
+					if s.Crashed() {
+						return false
+					}
+					s.unblock(br)
+					s.execSubOp(p, br.msg, types.NilOp, br.epoch)
+					if s.Crashed() {
+						return false
+					}
+					continue
+				}
+			}
+			// Ordered conflict: commit the holder first, then id executes
+			// with holder as its hint (via the release path).
+			s.requestCommit(holder, false)
+			ch := s.waitChan(s.completeSig, holder)
+			ch.RecvTimeout(p, remaining)
+			if s.Crashed() {
+				return false
+			}
+			continue
+		}
+		// Not arrived yet: wait for execution or timeout.
+		ch := s.waitChan(s.arrivalSig, id)
+		ch.RecvTimeout(p, remaining)
+		if s.Crashed() {
+			return false
+		}
+	}
+}
+
+// canInvalidate reports whether op is pending here and not yet committing.
+func (s *Server) canInvalidate(op types.OpID) bool {
+	if po := s.pendingPart[op]; po != nil {
+		return !po.committing
+	}
+	if co := s.pendingCoord[op]; co != nil {
+		return !co.committing
+	}
+	return false
+}
+
+// handleCommitReq applies the coordinator's decisions (§III.B step 6):
+// Commit/Abort-Records land in one batched append, aborted executions roll
+// back, the batch's rows flush together, and followers release. Idempotent:
+// decisions for operations already finished here are re-ACKed blindly.
+func (s *Server) handleCommitReq(p *simrt.Proc, m wire.Msg) {
+	recs := make([]wal.Record, 0, len(m.Decisions))
+	done := make([]*partOp, 0, len(m.Decisions))
+	doneRows := make([][]string, 0, len(m.Decisions))
+	for _, d := range m.Decisions {
+		po := s.pendingPart[d.Op]
+		if po == nil {
+			if !d.Commit {
+				// Abort for an operation we never executed (vote timeout or
+				// in-flight sub-op): poison it and cancel any blocked copy.
+				s.tombstone(d.Op)
+				if br := s.blockedOf[d.Op]; br != nil {
+					s.unblock(br)
+				}
+			}
+			continue
+		}
+		po.committing = true
+		var rows []string
+		if d.Commit {
+			recs = append(recs, wal.Record{Type: wal.RecCommit, Op: d.Op, Role: types.RoleParticipant})
+			rows = po.rows
+		} else {
+			recs = append(recs, wal.Record{Type: wal.RecAbort, Op: d.Op, Role: types.RoleParticipant})
+			if po.ok {
+				rows = s.rollback(po.undo, po.beforeImgs)
+			}
+			s.tombstone(d.Op)
+		}
+		done = append(done, po)
+		doneRows = append(doneRows, rows)
+	}
+	s.WAL.AppendBatchPriority(p, recs)
+	if s.Crashed() {
+		return
+	}
+	for i, po := range done {
+		// A Commit/Abort-Record on the participant ends the operation
+		// (§III.A); followers release immediately, and the page write-back
+		// joins the flush queue for the next lazy batch.
+		committed := false
+		for _, d := range m.Decisions {
+			if d.Op == po.id {
+				committed = d.Commit
+			}
+		}
+		delete(s.pendingPart, po.id)
+		s.cacheReply(po.id, finalReply(po.id, po.lastResp, committed, po.client))
+		s.completeOp(po.id, po.sub)
+		s.flushQ = append(s.flushQ, flushEntry{id: po.id, rows: doneRows[i]})
+	}
+	s.Send(wire.Msg{Type: wire.MsgAck, To: m.From, Op: m.Op, Ops: m.Ops})
+}
+
+// finalReply picks the response a duplicate request should receive after
+// the operation's fate is sealed: the recorded execution response when it
+// committed, an aborted NO otherwise.
+func finalReply(id types.OpID, last wire.Msg, committed bool, client types.NodeID) wire.Msg {
+	if committed && last.Type != 0 {
+		return last
+	}
+	return wire.Msg{Type: wire.MsgSubOpResp, To: client, Op: id,
+		OK: false, Err: types.ErrAborted.Error(), Epoch: last.Epoch + 1}
+}
+
+// rollback reverses an execution: live operations carry a compensating
+// undo; recovery-rebuilt operations carry before-images instead. Returns
+// the row keys to flush.
+func (s *Server) rollback(undo *namespace.Undo, imgs []types.RowImage) []string {
+	if undo != nil {
+		s.Shard.ApplyUndo(undo)
+		return undo.Keys()
+	}
+	s.Shard.InstallImages(imgs)
+	return imageKeys(imgs)
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"cxfs/internal/namespace"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wal"
+	"cxfs/internal/wire"
+)
+
+// handleSubOp is step 2 of the basic protocol: check for conflicts, execute,
+// log the Result-Record, and answer YES/NO immediately.
+func (s *Server) handleSubOp(p *simrt.Proc, m wire.Msg) {
+	s.lastArrive = s.Sim.Now()
+	sub := m.Sub
+	// Duplicate suppression: a retried request for an operation still
+	// pending here (or recently completed) is answered from the recorded
+	// response, never re-executed.
+	if cached, ok := s.replyCache[sub.Op]; ok {
+		cached.To = m.From
+		s.Send(cached)
+		return
+	}
+	if co := s.pendingCoord[sub.Op]; co != nil && sub.Role == types.RoleCoordinator {
+		s.Send(co.lastResp)
+		return
+	}
+	if po := s.pendingPart[sub.Op]; po != nil && sub.Role == types.RoleParticipant {
+		s.Send(po.lastResp)
+		return
+	}
+	if s.blockedOf[sub.Op] != nil {
+		return // original request is parked; its response will come
+	}
+	if s.tombstones[sub.Op] {
+		// The operation was aborted before this sub-op arrived (immediate
+		// commitment raced the request). Refuse execution.
+		s.Send(wire.Msg{Type: wire.MsgSubOpResp, To: m.From, Op: sub.Op, OK: false,
+			Err: types.ErrAborted.Error(), Epoch: 1})
+		return
+	}
+	if key, ok := conflictKey(sub); ok {
+		if holder, held := s.active[key]; held && holder.Proc != sub.Op.Proc {
+			s.block(m, holder, 1)
+			return
+		}
+	}
+	s.execSubOp(p, m, types.NilOp, 1)
+}
+
+// block parks a sub-op behind the pending operation holding its object and
+// launches an immediate commitment for that operation (§III.C step 2).
+func (s *Server) block(m wire.Msg, holder types.OpID, epoch uint32) {
+	s.stats.Conflicts++
+	br := &blockedReq{msg: m, holder: holder, epoch: epoch}
+	s.waiters[holder] = append(s.waiters[holder], br)
+	if m.Sub.Kind.CrossServer() {
+		s.blockedOf[m.Sub.Op] = br
+		// A vote handler may be parked waiting for this sub-op to arrive;
+		// wake it so it can see the blocked state and apply the conflict
+		// rules instead of timing out.
+		s.fire(s.arrivalSig, m.Sub.Op)
+	}
+	s.requestCommit(holder, false)
+}
+
+// unblock removes a parked request from its queues.
+func (s *Server) unblock(br *blockedReq) {
+	ws := s.waiters[br.holder]
+	for i, w := range ws {
+		if w == br {
+			s.waiters[br.holder] = append(ws[:i:i], ws[i+1:]...)
+			break
+		}
+	}
+	if br.msg.Sub.Kind.CrossServer() {
+		if s.blockedOf[br.msg.Sub.Op] == br {
+			delete(s.blockedOf, br.msg.Sub.Op)
+		}
+	}
+}
+
+// execSubOp executes one sub-op, logs it, registers pending state, and
+// replies with the conflict hint and execution epoch.
+func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uint32) {
+	sub := m.Sub
+	s.ExecCPU(p)
+	res := s.Shard.Exec(sub, s.NowNanos())
+	cross := sub.Kind.CrossServer()
+
+	// The object becomes active the moment the execution lands in memory —
+	// BEFORE the synchronous Result-Record append — so a sub-op arriving
+	// during the (milliseconds-long) log write still sees the conflict.
+	// The pending entry itself registers only after the record is durable,
+	// because votes must never report a result that could vanish in a
+	// crash.
+	if cross && res.OK {
+		s.hold(sub)
+	}
+
+	if cross || sub.Action.Mutating() {
+		rec := wal.Record{Type: wal.RecResult, Op: sub.Op, Role: sub.Role,
+			OK: res.OK, Sub: sub, Before: res.Before, After: res.After}
+		if cross {
+			rec.Peer, rec.HasPeer = m.Peer, true
+		}
+		s.WAL.Append(p, rec)
+		if s.Crashed() {
+			return
+		}
+	}
+
+	switch {
+	case cross && sub.Role == types.RoleCoordinator:
+		co := &coordOp{
+			id: sub.Op, sub: sub, ok: res.OK, undo: res.Undo, rows: res.Rows,
+			participant: m.Peer, client: m.From, epoch: epoch, reqMsg: m,
+		}
+		s.pendingCoord[sub.Op] = co
+		if we, want := s.wantCommit[sub.Op]; want {
+			delete(s.wantCommit, sub.Op)
+			s.requestCommit(sub.Op, we.lcom)
+		} else if s.cfg.Threshold > 0 && len(s.pendingCoord) >= s.cfg.Threshold {
+			s.stats.LazyBatches++ // threshold trigger counts as a lazy batch
+			s.kick.Send(kickReq{lazy: true})
+		}
+	case cross && sub.Role == types.RoleParticipant:
+		po := &partOp{
+			id: sub.Op, sub: sub, ok: res.OK, undo: res.Undo, rows: res.Rows,
+			coordinator: m.Peer, client: m.From, epoch: epoch, reqMsg: m,
+			since: s.Sim.Now(),
+		}
+		s.pendingPart[sub.Op] = po
+		// A conflicting request may have demanded this op's commitment
+		// while the Result-Record append was in flight (the object was
+		// already active); replay the remembered demand now that the
+		// pending entry exists, so the C-NOTIFY reaches the coordinator.
+		if we, want := s.wantCommit[sub.Op]; want {
+			delete(s.wantCommit, sub.Op)
+			s.requestCommit(sub.Op, we.lcom)
+		}
+		s.fire(s.arrivalSig, sub.Op)
+	case sub.Action.Mutating():
+		// Single-server update: logged above, flushed by the next batch.
+		s.flushQ = append(s.flushQ, flushEntry{id: sub.Op, rows: res.Rows})
+	}
+
+	reply := wire.Msg{Type: wire.MsgSubOpResp, To: m.From, Op: sub.Op,
+		OK: res.OK, Hint: hint, Epoch: epoch, Attr: res.Inode}
+	if res.Err != nil {
+		reply.Err = res.Err.Error()
+	}
+	// Record the response for duplicate suppression while pending.
+	if cross {
+		if sub.Role == types.RoleCoordinator {
+			if co := s.pendingCoord[sub.Op]; co != nil {
+				co.lastResp = reply
+			}
+		} else if po := s.pendingPart[sub.Op]; po != nil {
+			po.lastResp = reply
+		}
+	}
+	s.Send(reply)
+}
+
+// hold marks the sub-op's conflict key active.
+func (s *Server) hold(sub types.SubOp) {
+	if key, ok := conflictKey(sub); ok {
+		s.active[key] = sub.Op
+	}
+}
+
+// releaseKeys clears every active entry held by op.
+func (s *Server) releaseKeys(sub types.SubOp, op types.OpID) {
+	if key, ok := conflictKey(sub); ok {
+		if s.active[key] == op {
+			delete(s.active, key)
+		}
+	}
+}
+
+// completeOp finishes one operation on this server: the object becomes
+// inactive, blocked followers re-dispatch with this op as their conflict
+// hint, and vote handlers parked on the completion are woken.
+func (s *Server) completeOp(op types.OpID, sub types.SubOp) {
+	s.releaseKeys(sub, op)
+	ws := s.waiters[op]
+	delete(s.waiters, op)
+	for _, br := range ws {
+		br := br
+		if br.msg.Sub.Kind.CrossServer() {
+			if s.blockedOf[br.msg.Sub.Op] == br {
+				delete(s.blockedOf, br.msg.Sub.Op)
+			}
+		}
+		s.Sim.Spawn("cx/redispatch", func(p *simrt.Proc) {
+			s.redispatch(p, br, op)
+		})
+	}
+	s.fire(s.completeSig, op)
+	delete(s.wantCommit, op)
+}
+
+// redispatch re-runs a released sub-op: it may conflict again with a newer
+// holder, be dead (tombstoned by an abort), or execute with the released
+// operation as its hint.
+func (s *Server) redispatch(p *simrt.Proc, br *blockedReq, released types.OpID) {
+	if s.Crashed() {
+		return
+	}
+	sub := br.msg.Sub
+	if s.tombstones[sub.Op] {
+		return // its operation was aborted while it was parked
+	}
+	if key, ok := conflictKey(sub); ok {
+		if holder, held := s.active[key]; held && holder.Proc != sub.Op.Proc {
+			br.holder = holder
+			s.waiters[holder] = append(s.waiters[holder], br)
+			if sub.Kind.CrossServer() {
+				s.blockedOf[sub.Op] = br
+				s.fire(s.arrivalSig, sub.Op)
+			}
+			s.requestCommit(holder, false)
+			return
+		}
+	}
+	if br.msg.Type == wire.MsgOpReq {
+		// A blocked colocated compound op re-runs through the local path.
+		s.handleLocalOp(p, br.msg)
+		return
+	}
+	s.execSubOp(p, br.msg, released, br.epoch)
+}
+
+// invalidate undoes an executed-but-uncommitted operation at this server
+// (§III.C step 4): its effects roll back, an Invalidate-Record is logged,
+// its client is notified that the earlier response is void, and the sub-op
+// re-queues behind afterOp with a bumped epoch.
+func (s *Server) invalidate(p *simrt.Proc, victim types.OpID, afterOp types.OpID) bool {
+	var sub types.SubOp
+	var undo *undoRef
+	if po := s.pendingPart[victim]; po != nil && !po.committing {
+		sub = po.sub
+		undo = &undoRef{u: po.undo, imgs: po.beforeImgs, ok: po.ok, epoch: po.epoch, req: po.reqMsg, client: po.client}
+		delete(s.pendingPart, victim)
+	} else if co := s.pendingCoord[victim]; co != nil && !co.committing {
+		sub = co.sub
+		undo = &undoRef{u: co.undo, imgs: co.beforeImgs, ok: co.ok, epoch: co.epoch, req: co.reqMsg, client: co.client}
+		delete(s.pendingCoord, victim)
+	} else {
+		return false
+	}
+	s.stats.Invalidations++
+	if undo.ok {
+		s.rollback(undo.u, undo.imgs)
+	}
+	s.releaseKeys(sub, victim)
+	s.WAL.AppendBatchPriority(p, []wal.Record{{Type: wal.RecInvalidate, Op: victim, Role: sub.Role}})
+	if s.Crashed() {
+		return false
+	}
+	newEpoch := undo.epoch + 1
+	// Invalidation notice: the client must not complete the operation on the
+	// superseded response; a fresh response follows after re-execution.
+	s.Send(wire.Msg{Type: wire.MsgSubOpResp, To: undo.client, Op: victim,
+		OK: false, Err: types.ErrInvalidated.Error(), Hint: afterOp, Epoch: newEpoch})
+	br := &blockedReq{msg: undo.req, holder: afterOp, epoch: newEpoch}
+	s.waiters[afterOp] = append(s.waiters[afterOp], br)
+	s.blockedOf[victim] = br
+	return true
+}
+
+// undoRef carries what invalidate needs from either pending table.
+type undoRef struct {
+	u      *namespace.Undo
+	imgs   []types.RowImage
+	ok     bool
+	epoch  uint32
+	req    wire.Msg
+	client types.NodeID
+}
+
+// handleLocalOp executes an operation whose coordinator and participant
+// placements landed on the same server (or a single-server compound). Both
+// sub-ops run locally as one transaction: Result-Records and a Commit-Record
+// land in one batched append, the rows flush with the next lazy batch.
+func (s *Server) handleLocalOp(p *simrt.Proc, m wire.Msg) {
+	op := m.FullOp
+	if op.Kind == types.OpRename {
+		s.handleRename(p, m)
+		return
+	}
+	if op.Kind == types.OpReaddir {
+		s.ServeReaddir(m)
+		return
+	}
+	var recs []wal.Record
+	var rows []string
+	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
+
+	if op.Kind.CrossServer() {
+		cSub, pSub := types.Split(op)
+		// Local conflict check still applies: this op must not read or
+		// overwrite another process's uncommitted objects.
+		for _, sub := range []types.SubOp{cSub, pSub} {
+			if key, ok := conflictKey(sub); ok {
+				if holder, held := s.active[key]; held && holder.Proc != op.ID.Proc {
+					s.block(wire.Msg{Type: wire.MsgOpReq, From: m.From, To: s.ID, Op: op.ID, FullOp: op, Sub: sub}, holder, 1)
+					return
+				}
+			}
+		}
+		s.ExecCPU(p)
+		resC := s.Shard.Exec(cSub, s.NowNanos())
+		var resP namespaceResult
+		if resC.OK {
+			r := s.Shard.Exec(pSub, s.NowNanos())
+			resP = namespaceResult{ok: r.OK, err: r.Err, rows: r.Rows, before: r.Before, after: r.After}
+			if !r.OK {
+				s.Shard.ApplyUndo(resC.Undo)
+			}
+		}
+		if !resC.OK || !resP.ok {
+			reply.OK = false
+			if resC.Err != nil {
+				reply.Err = resC.Err.Error()
+			} else if resP.err != nil {
+				reply.Err = resP.err.Error()
+			}
+			s.Send(reply)
+			return
+		}
+		recs = append(recs,
+			wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleCoordinator, OK: true, Sub: cSub, Before: resC.Before, After: resC.After},
+			wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleParticipant, OK: true, Sub: pSub, Before: resP.before, After: resP.after},
+			wal.Record{Type: wal.RecCommit, Op: op.ID, Role: types.RoleCoordinator},
+		)
+		rows = append(append(rows, resC.Rows...), resP.rows...)
+	} else {
+		// Single-server simple op routed as OpReq (reads use SubOpReq).
+		sub := types.SingleSubOp(op)
+		s.ExecCPU(p)
+		res := s.Shard.Exec(sub, s.NowNanos())
+		reply.OK = res.OK
+		reply.Attr = res.Inode
+		if res.Err != nil {
+			reply.Err = res.Err.Error()
+		}
+		if res.OK && sub.Action.Mutating() {
+			recs = append(recs, wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleCoordinator, OK: true, Sub: sub, Before: res.Before, After: res.After})
+			rows = res.Rows
+		}
+	}
+
+	if len(recs) > 0 {
+		s.WAL.AppendBatch(p, recs)
+		if s.Crashed() {
+			return
+		}
+		s.flushQ = append(s.flushQ, flushEntry{id: op.ID, rows: rows})
+	}
+	s.Send(reply)
+}
+
+// namespaceResult mirrors the fields of namespace.Result used locally.
+type namespaceResult struct {
+	ok     bool
+	err    error
+	rows   []string
+	before []types.RowImage
+	after  []types.RowImage
+}

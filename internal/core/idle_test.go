@@ -1,0 +1,86 @@
+// Tests for the idle-time commitment trigger — the paper's §IV.A
+// future-work extension.
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cxfs/internal/cluster"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+func TestIdleTriggerCommitsDuringQuietPeriods(t *testing.T) {
+	o := cluster.DefaultOptions(4, cluster.ProtoCx)
+	o.ClientHosts = 2
+	o.ProcsPerHost = 1
+	o.Cx.Timeout = time.Hour // the timeout trigger stays out of the way
+	o.Cx.IdleTrigger = 50 * time.Millisecond
+	c := cluster.New(o)
+	defer c.Shutdown()
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		for j := 0; j < 8; j++ {
+			if _, err := pr.Create(p, types.RootInode, fmt.Sprintf("idle-%d", j)); err != nil {
+				t.Errorf("create: %v", err)
+			}
+		}
+		pendingBefore := 0
+		for _, srv := range c.CxSrv {
+			pendingBefore += srv.PendingOps()
+		}
+		if pendingBefore == 0 {
+			t.Fatal("nothing pending; scenario broken")
+		}
+		// Go idle: the trigger must drain everything without any other
+		// trigger or client involvement.
+		p.Sleep(400 * time.Millisecond)
+		pendingAfter := 0
+		for _, srv := range c.CxSrv {
+			pendingAfter += srv.PendingOps()
+		}
+		if pendingAfter != 0 {
+			t.Errorf("%d ops still pending after idle period", pendingAfter)
+		}
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("hung")
+	}
+}
+
+func TestIdleTriggerHoldsOffWhileBusy(t *testing.T) {
+	// While requests keep arriving faster than the idle window, the idle
+	// trigger must not fire (the timeout trigger owns busy periods).
+	o := cluster.DefaultOptions(4, cluster.ProtoCx)
+	o.ClientHosts = 2
+	o.ProcsPerHost = 1
+	o.Cx.Timeout = time.Hour
+	o.Cx.IdleTrigger = 80 * time.Millisecond
+	c := cluster.New(o)
+	defer c.Shutdown()
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		for j := 0; j < 12; j++ {
+			if _, err := pr.Create(p, types.RootInode, fmt.Sprintf("busy-%d", j)); err != nil {
+				t.Errorf("create: %v", err)
+			}
+			p.Sleep(20 * time.Millisecond) // arrivals keep the servers busy
+		}
+		var idleBatches uint64
+		for _, srv := range c.CxSrv {
+			idleBatches += srv.Stats().LazyBatches
+		}
+		if idleBatches > 3 {
+			t.Errorf("idle trigger fired %d times during a busy stream", idleBatches)
+		}
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("hung")
+	}
+}

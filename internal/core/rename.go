@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wal"
+	"cxfs/internal/wire"
+)
+
+// Rename support — an extension beyond the paper, which excludes rename
+// from Cx ("Operation that may require more than two metadata servers is
+// rename", §II.A footnote) without saying how a real system should run it.
+//
+// We run rename as an *eager* two-phase transaction between the two entry
+// servers: the source entry's owner coordinates, removes its entry
+// provisionally, and drives a per-operation VOTE / COMMIT-REQ / ACK round
+// against the destination entry's owner, which inserts provisionally. No
+// lazy commitment: the client's response waits for the full commit, exactly
+// the conservative fallback the footnote implies.
+//
+// Both provisional entries are held active for the duration, so ordinary
+// Cx operations conflict-block against an in-flight rename and vice versa.
+// The destination side registers in the same pendingPart table as a normal
+// participant execution, which makes crash recovery compose: a crashed
+// destination rebuilds the pending insert from its Result-Record and nudges
+// the coordinator; a crashed coordinator rebuilds the pending remove and
+// re-drives the commitment through the standard batch machinery, whose
+// VOTE the destination answers from the same table.
+
+// renameVoteCh/renameAckCh route per-operation replies (batch commitment
+// replies route per-peer instead).
+func (s *Server) renameRoutes() (map[types.OpID]*simrt.Chan[wire.Msg], map[types.OpID]*simrt.Chan[wire.Msg]) {
+	if s.renameVote == nil {
+		s.renameVote = make(map[types.OpID]*simrt.Chan[wire.Msg])
+		s.renameAck = make(map[types.OpID]*simrt.Chan[wire.Msg])
+	}
+	return s.renameVote, s.renameAck
+}
+
+// handleRename coordinates one rename transaction; m.FullOp carries the
+// operation, and this server owns the source entry.
+func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
+	op := m.FullOp
+	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
+	if s.tombstones[op.ID] {
+		reply.OK, reply.Err = false, types.ErrAborted.Error()
+		s.Send(reply)
+		return
+	}
+
+	srcSub := types.SubOp{Op: op.ID, Kind: types.OpRename, Role: types.RoleCoordinator,
+		Action: types.ActRemoveEntry, Parent: op.Parent, Name: op.Name, Ino: op.Ino}
+	dstSub := types.SubOp{Op: op.ID, Kind: types.OpRename, Role: types.RoleParticipant,
+		Action: types.ActInsertEntry, Parent: op.NewParent, Name: op.NewName, Ino: op.Ino}
+	dst := s.pl.CoordinatorFor(op.NewParent, op.NewName)
+	local := dst == s.ID
+
+	// Conflict check on the source entry: block behind a pending operation
+	// like any sub-op would.
+	if key, ok := conflictKey(srcSub); ok {
+		if holder, held := s.active[key]; held && holder.Proc != op.ID.Proc {
+			s.block(wire.Msg{Type: wire.MsgOpReq, From: m.From, To: s.ID, Op: op.ID,
+				FullOp: op, Sub: srcSub, ReplyProc: m.ReplyProc}, holder, 1)
+			return
+		}
+	}
+
+	// Provisional source removal.
+	s.ExecCPU(p)
+	resSrc := s.Shard.Exec(srcSub, s.NowNanos())
+	if !resSrc.OK {
+		reply.OK, reply.Err = false, resSrc.Err.Error()
+		s.Send(reply)
+		return
+	}
+	s.hold(srcSub)
+	s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleCoordinator,
+		OK: true, Sub: srcSub, Before: resSrc.Before, After: resSrc.After, Peer: dst, HasPeer: true})
+	if s.Crashed() {
+		return
+	}
+	// Register as a committing coordinator op so C-NOTIFY/L-COM find it and
+	// the lazy daemon leaves it alone.
+	co := &coordOp{id: op.ID, sub: srcSub, ok: true, undo: resSrc.Undo, rows: resSrc.Rows,
+		participant: dst, client: m.From, epoch: 1, committing: true, reqMsg: m}
+	s.pendingCoord[op.ID] = co
+
+	var dstOK bool
+	var dstErr string
+	if local {
+		dstOK, dstErr = s.renameLocalInsert(p, op, dstSub)
+	} else {
+		dstOK, dstErr = s.renameRemoteInsert(p, op, dstSub, dst)
+	}
+	if s.Crashed() {
+		return
+	}
+
+	commit := dstOK
+	decType := wal.RecAbort
+	if commit {
+		decType = wal.RecCommit
+	}
+	s.WAL.AppendBatchPriority(p, []wal.Record{{Type: decType, Op: op.ID, Role: types.RoleCoordinator}})
+	if s.Crashed() {
+		return
+	}
+	var flushRows []string
+	if commit {
+		flushRows = co.rows
+	} else {
+		flushRows = s.rollback(co.undo, co.beforeImgs)
+		s.tombstone(op.ID)
+	}
+
+	if !local {
+		// Deliver the decision until acknowledged.
+		s.renameDecision(p, op.ID, dst, commit)
+		if s.Crashed() {
+			return
+		}
+	}
+
+	s.WAL.AppendBatchPriority(p, []wal.Record{{Type: wal.RecComplete, Op: op.ID, Role: types.RoleCoordinator}})
+	if s.Crashed() {
+		return
+	}
+	delete(s.pendingCoord, op.ID)
+	s.completeOp(op.ID, srcSub)
+	s.flushQ = append(s.flushQ, flushEntry{id: op.ID, rows: flushRows})
+	if commit {
+		s.stats.OpsCommitted++
+		s.stats.Renames++
+	} else {
+		s.stats.OpsAborted++
+		reply.OK = false
+		if dstErr != "" {
+			reply.Err = dstErr
+		} else {
+			reply.Err = types.ErrAborted.Error()
+		}
+	}
+	s.Send(reply)
+}
+
+// renameLocalInsert executes the destination insert on this same server.
+func (s *Server) renameLocalInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp) (bool, string) {
+	ok, err, _ := s.renameExecInsert(p, op, dstSub, s.ID)
+	return ok, err
+}
+
+// renameRemoteInsert drives the VOTE round against the destination server,
+// retrying across its crashes.
+func (s *Server) renameRemoteInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp, dst types.NodeID) (bool, string) {
+	votes, _ := s.renameRoutes()
+	ch := simrt.NewChan[wire.Msg](s.Sim)
+	votes[op.ID] = ch
+	defer delete(votes, op.ID)
+	for {
+		s.Send(wire.Msg{Type: wire.MsgVote, To: dst, Op: op.ID, Sub: dstSub,
+			Peer: s.ID, ReplyProc: op.ID.Proc})
+		if m, got := ch.RecvTimeout(p, s.cfg.RetryInterval+s.cfg.VoteWait); got {
+			return m.OK, m.Err
+		}
+		if s.Crashed() {
+			return false, ""
+		}
+	}
+}
+
+// renameDecision delivers the commit/abort to the destination until acked.
+func (s *Server) renameDecision(p *simrt.Proc, id types.OpID, dst types.NodeID, commit bool) {
+	_, acks := s.renameRoutes()
+	ch := simrt.NewChan[wire.Msg](s.Sim)
+	acks[id] = ch
+	defer delete(acks, id)
+	for {
+		s.Send(wire.Msg{Type: wire.MsgCommitReq, To: dst, Op: id,
+			Decisions: []wire.Decision{{Op: id, Commit: commit}}})
+		if _, got := ch.RecvTimeout(p, s.cfg.RetryInterval); got || s.Crashed() {
+			return
+		}
+	}
+}
+
+// handleRenameVote is the destination side: execute the insert (resolving
+// conflicts like any sub-op) and vote. Registered in pendingPart so the
+// standard decision and recovery paths finish the job.
+func (s *Server) handleRenameVote(p *simrt.Proc, m wire.Msg) {
+	id := m.Op
+	if po := s.pendingPart[id]; po != nil {
+		// Retransmitted vote: answer from the existing execution.
+		s.Send(wire.Msg{Type: wire.MsgVoteResp, To: m.From, Op: id, OK: po.ok})
+		return
+	}
+	if s.tombstones[id] {
+		s.Send(wire.Msg{Type: wire.MsgVoteResp, To: m.From, Op: id, OK: false, Err: types.ErrAborted.Error()})
+		return
+	}
+	op := types.Op{ID: id, Kind: types.OpRename}
+	ok, errStr, registered := s.renameExecInsert(p, op, m.Sub, m.From)
+	if s.Crashed() {
+		return
+	}
+	resp := wire.Msg{Type: wire.MsgVoteResp, To: m.From, Op: id, OK: ok, Err: errStr}
+	_ = registered
+	s.Send(resp)
+}
+
+// renameExecInsert performs the destination insert with conflict
+// resolution; on success the execution registers in pendingPart (remote
+// coordinator case) so COMMIT-REQ/recovery complete it.
+func (s *Server) renameExecInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp, coordNode types.NodeID) (bool, string, bool) {
+	deadline := s.Sim.Now() + s.cfg.VoteWait
+	for {
+		key, _ := conflictKey(dstSub)
+		holder, held := s.active[key]
+		if !held || holder.Proc == dstSub.Op.Proc {
+			break
+		}
+		s.requestCommit(holder, false)
+		remaining := deadline - s.Sim.Now()
+		if remaining <= 0 {
+			return false, fmt.Sprintf("rename destination busy: %v", types.ErrAborted), false
+		}
+		ch := s.waitChan(s.completeSig, holder)
+		ch.RecvTimeout(p, remaining)
+		if s.Crashed() {
+			return false, "", false
+		}
+	}
+	s.ExecCPU(p)
+	res := s.Shard.Exec(dstSub, s.NowNanos())
+	if !res.OK {
+		return false, res.Err.Error(), false
+	}
+	s.hold(dstSub)
+	s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: dstSub.Op, Role: types.RoleParticipant,
+		OK: true, Sub: dstSub, Before: res.Before, After: res.After, Peer: coordNode, HasPeer: true})
+	if s.Crashed() {
+		return false, "", false
+	}
+	if coordNode != s.ID {
+		s.pendingPart[dstSub.Op] = &partOp{id: dstSub.Op, sub: dstSub, ok: true,
+			undo: res.Undo, rows: res.Rows, coordinator: coordNode,
+			client: dstSub.Op.Proc.Client, epoch: 1, committing: true,
+			since: s.Sim.Now()}
+		return true, "", true
+	}
+	// Local: the caller owns completion; stage rows directly.
+	s.flushQ = append(s.flushQ, flushEntry{id: dstSub.Op, rows: res.Rows})
+	defer s.completeOp(dstSub.Op, dstSub)
+	return true, "", false
+}

@@ -1,0 +1,268 @@
+// Tests for the rename extension (internal/core/rename.go): an eager
+// two-server transaction for the operation the paper excludes from Cx.
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cxfs/internal/cluster"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+func TestRenameBasic(t *testing.T) {
+	c := build(4, nil)
+	defer c.Shutdown()
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		dirA, err := pr.Mkdir(p, types.RootInode, "src")
+		if err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		dirB, err := pr.Mkdir(p, types.RootInode, "dst")
+		if err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		ino, err := pr.Create(p, dirA, "file")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if err := pr.Rename(p, dirA, "file", ino, dirB, "renamed"); err != nil {
+			t.Fatalf("rename: %v", err)
+		}
+		if _, err := pr.Lookup(p, dirA, "file"); !errors.Is(err, types.ErrNotFound) {
+			t.Errorf("source entry still resolves: %v", err)
+		}
+		got, err := pr.Lookup(p, dirB, "renamed")
+		if err != nil || got.Ino != ino {
+			t.Errorf("destination lookup: ino=%d err=%v", got.Ino, err)
+		}
+		if in, err := pr.Stat(p, ino); err != nil || in.Nlink != 1 {
+			t.Errorf("inode after rename: %+v %v", in, err)
+		}
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("rename hung")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}
+
+func TestRenameToExistingNameFailsAtomically(t *testing.T) {
+	c := build(4, nil)
+	defer c.Shutdown()
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		ino1, err := pr.Create(p, types.RootInode, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pr.Create(p, types.RootInode, "b"); err != nil {
+			t.Fatal(err)
+		}
+		err = pr.Rename(p, types.RootInode, "a", ino1, types.RootInode, "b")
+		if err == nil {
+			t.Fatal("rename onto existing name succeeded")
+		}
+		// Atomicity: the source entry must have been restored.
+		got, err := pr.Lookup(p, types.RootInode, "a")
+		if err != nil || got.Ino != ino1 {
+			t.Errorf("source entry lost after aborted rename: %v %v", got.Ino, err)
+		}
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("hung")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}
+
+func TestRenameOfMissingSourceFails(t *testing.T) {
+	c := build(4, nil)
+	defer c.Shutdown()
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		err := pr.Rename(p, types.RootInode, "ghost", 424242, types.RootInode, "whatever")
+		if !errors.Is(err, types.ErrNotFound) {
+			t.Errorf("rename of missing source: %v", err)
+		}
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("hung")
+	}
+}
+
+func TestRenameConflictsWithPendingCreate(t *testing.T) {
+	// A rename whose destination entry is active (another process's
+	// uncommitted create) must wait for that commitment, then fail with
+	// EEXIST — never clobber or interleave.
+	c := build(4, nil)
+	defer c.Shutdown()
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		prA, prB := c.Proc(0), c.Proc(c.NumProcs()-1)
+		inoB, err := prB.Create(p, types.RootInode, "dst-name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = inoB // dst-name now active (pending commitment) under prB
+		inoA, err := prA.Create(p, types.RootInode, "src-name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = prA.Rename(p, types.RootInode, "src-name", inoA, types.RootInode, "dst-name")
+		if err == nil {
+			t.Error("rename onto a (pending) existing name succeeded")
+		}
+		// Source restored, both files intact.
+		if got, err := prA.Lookup(p, types.RootInode, "src-name"); err != nil || got.Ino != inoA {
+			t.Errorf("src after aborted rename: %v %v", got.Ino, err)
+		}
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("hung")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}
+
+func TestRenameStormAcrossDirectories(t *testing.T) {
+	// Many processes shuffle their files between two directories; all
+	// renames are eager transactions and the namespace must stay coherent.
+	c := build(4, nil)
+	defer c.Shutdown()
+	g := simrt.NewGroup(c.Sim)
+	workers := 6
+	g.Add(workers)
+	var dirA, dirB types.InodeID
+	gate := simrt.NewChan[struct{}](c.Sim)
+	c.Sim.Spawn("setup", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		var err error
+		if dirA, err = pr.Mkdir(p, types.RootInode, "A"); err != nil {
+			t.Fatal(err)
+		}
+		if dirB, err = pr.Mkdir(p, types.RootInode, "B"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < workers; i++ {
+			gate.Send(struct{}{})
+		}
+	})
+	for w := 0; w < workers; w++ {
+		w := w
+		pr := c.Proc(w)
+		c.Sim.Spawn("worker", func(p *simrt.Proc) {
+			defer g.Done()
+			gate.Recv(p)
+			name := fmt.Sprintf("w%d", w)
+			ino, err := pr.Create(p, dirA, name)
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			from, fromName, to := dirA, name, dirB
+			for i := 0; i < 6; i++ {
+				toName := fmt.Sprintf("w%d-r%d", w, i)
+				if err := pr.Rename(p, from, fromName, ino, to, toName); err != nil {
+					t.Errorf("worker %d rename %d: %v", w, i, err)
+					return
+				}
+				from, to = to, from
+				fromName = toName
+			}
+		})
+	}
+	c.Sim.Spawn("ctl", func(p *simrt.Proc) {
+		g.Wait(p)
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("rename storm hung")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+	var renames uint64
+	for _, srv := range c.CxSrv {
+		renames += srv.Stats().Renames
+	}
+	if renames == 0 {
+		t.Error("no committed renames counted")
+	}
+}
+
+func TestRenameSurvivesDestinationCrash(t *testing.T) {
+	c := build(4, func(o *cluster.Options) {
+		o.Cx.RetryInterval = 100 * time.Millisecond
+		o.Cx.VoteWait = 100 * time.Millisecond
+		o.Hardware.LogMaxBytes = 0
+	})
+	defer c.Shutdown()
+	c.Sim.Spawn("t", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		// Find a rename whose src owner != dst owner so the vote is remote.
+		var srcName, dstName string
+		var ino types.InodeID
+		var src, dst types.NodeID
+		for try := 0; ; try++ {
+			srcName = fmt.Sprintf("s-%d", try)
+			dstName = fmt.Sprintf("d-%d", try)
+			src = c.Placement.CoordinatorFor(types.RootInode, srcName)
+			dst = c.Placement.CoordinatorFor(types.RootInode, dstName)
+			if src != dst {
+				break
+			}
+		}
+		var err error
+		ino, err = pr.Create(p, types.RootInode, srcName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Quiesce(p)
+		// Crash the destination, then issue the rename in the background;
+		// the coordinator must retry until the destination recovers.
+		c.Bases[dst].Crash()
+		done := simrt.NewChan[error](c.Sim)
+		c.Sim.Spawn("renamer", func(rp *simrt.Proc) {
+			done.Send(pr.Rename(rp, types.RootInode, srcName, ino, types.RootInode, dstName))
+		})
+		p.Sleep(250 * time.Millisecond)
+		c.Bases[dst].Reboot()
+		c.CxSrv[dst].Recover(p)
+		err = done.Recv(p)
+		if err != nil {
+			t.Errorf("rename across destination crash: %v", err)
+		}
+		if got, lerr := pr.Lookup(p, types.RootInode, dstName); lerr != nil || got.Ino != ino {
+			t.Errorf("dst lookup after crash-rename: %v %v", got.Ino, lerr)
+		}
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		t.Fatal("crash-rename hung")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny keeps harness tests fast; the full-shape assertions run in the
+// top-level benchmarks.
+func tiny() Config {
+	return Config{Scale: 0.0012, Servers: 4, Seed: 1}
+}
+
+func TestTable2ShapesAndOrdering(t *testing.T) {
+	cfg := tiny()
+	rows, tbl := Table2(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("want 6 workloads, got %d", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+		if r.TotalOps <= 0 {
+			t.Errorf("%s: no ops", r.Workload)
+		}
+		if r.ConflictRatio > 0.10 {
+			t.Errorf("%s: conflict ratio %.3f implausibly high", r.Workload, r.ConflictRatio)
+		}
+	}
+	// Table II ordering: supercomputing traces conflict less than deasna2.
+	if byName["CTH"].ConflictRatio >= byName["deasna2"].ConflictRatio {
+		t.Errorf("CTH (%.4f) should conflict less than deasna2 (%.4f)",
+			byName["CTH"].ConflictRatio, byName["deasna2"].ConflictRatio)
+	}
+	if !strings.Contains(tbl.String(), "deasna2") {
+		t.Error("table missing workloads")
+	}
+}
+
+func TestTable4OverheadSmall(t *testing.T) {
+	cfg := tiny()
+	rows, _ := Table4(cfg)
+	for _, r := range rows {
+		if r.MsgsCx == 0 || r.MsgsOFS == 0 {
+			t.Errorf("%s: zero messages", r.Workload)
+		}
+		// Paper: <= ~3.1% at their scale; batching keeps it single-digit
+		// even on tiny replays where lazy batches are small.
+		if r.Overhead > 0.15 {
+			t.Errorf("%s: message overhead %.1f%% too high", r.Workload, r.Overhead*100)
+		}
+		if r.Overhead < -0.05 {
+			t.Errorf("%s: Cx sent notably fewer messages (%.1f%%) — accounting bug?", r.Workload, r.Overhead*100)
+		}
+	}
+}
+
+func TestTable5MonotoneSublinear(t *testing.T) {
+	cfg := tiny()
+	rows, _ := Table5(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RecoveryTime < rows[i-1].RecoveryTime {
+			t.Errorf("recovery time not monotone: %v@%dKB < %v@%dKB",
+				rows[i].RecoveryTime, rows[i].ValidKB, rows[i-1].RecoveryTime, rows[i-1].ValidKB)
+		}
+	}
+	// Paper shape: 100x backlog (10KB->1000KB) grows recovery <3x thanks to
+	// the fixed freeze phase; allow modest slack for the simulator's
+	// different fixed/variable balance.
+	t10, t1000 := rows[1].RecoveryTime, rows[5].RecoveryTime
+	if t10 > 0 && float64(t1000) > 4*float64(t10) {
+		t.Errorf("recovery growth superlinear: %v -> %v for 100x backlog", t10, t1000)
+	}
+}
+
+func TestFig4AllWorkloadsPresent(t *testing.T) {
+	tbl := Fig4(tiny())
+	out := tbl.String()
+	for _, w := range []string{"CTH", "s3d", "alegra", "home2", "deasna2", "lair62b"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %s", w)
+		}
+	}
+}
+
+func TestFig5PaperInequalities(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.003
+	rows, _ := Fig5(cfg, []string{"CTH", "s3d"})
+	for _, r := range rows {
+		if r.CxOverOFS < 0.30 {
+			t.Errorf("%s: Cx improvement over OFS %.0f%%, paper reports >=38%%",
+				r.Workload, r.CxOverOFS*100)
+		}
+		if r.CxOverBatch <= 0 {
+			t.Errorf("%s: Cx not ahead of OFS-batched (%.0f%%)", r.Workload, r.CxOverBatch*100)
+		}
+	}
+}
+
+func TestFig6GainAndScaling(t *testing.T) {
+	cfg := tiny()
+	rows, _ := Fig6(cfg, []int{2, 4}, 25)
+	byKey := map[string]Fig6Row{}
+	for _, r := range rows {
+		byKey[r.Mix+string(rune(r.Servers))] = r
+		if r.CxGain <= 0 {
+			t.Errorf("%s@%d servers: Cx gain %.2f, must be positive", r.Mix, r.Servers, r.CxGain)
+		}
+		if r.OFSCx <= r.OFS {
+			t.Errorf("%s@%d: Cx throughput below OFS", r.Mix, r.Servers)
+		}
+	}
+	// Scaling: 4 servers beat 2 for every system.
+	for _, mix := range []string{"update-dominated", "read-dominated"} {
+		r2, r4 := byKey[mix+string(rune(2))], byKey[mix+string(rune(4))]
+		if r4.OFSCx <= r2.OFSCx {
+			t.Errorf("%s: Cx did not scale 2->4 servers (%.0f -> %.0f)", mix, r2.OFSCx, r4.OFSCx)
+		}
+	}
+}
+
+func TestFig7aSmallerLogSlower(t *testing.T) {
+	cfg := tiny()
+	rows, _ := Fig7a(cfg, []int64{8 << 10, 0})
+	if len(rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	if rows[0].ReplayTime <= rows[1].ReplayTime {
+		t.Errorf("8KB log (%v) should replay slower than unlimited (%v)",
+			rows[0].ReplayTime, rows[1].ReplayTime)
+	}
+}
+
+func TestFig7bSeriesHasPeakAndDrops(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.002
+	series, _ := Fig7b(cfg, 50*time.Millisecond)
+	if len(series.Points) < 5 {
+		t.Fatalf("too few samples: %d", len(series.Points))
+	}
+	if series.Peak() <= 0 {
+		t.Error("valid-record size never rose")
+	}
+	if series.Drops(0.3) == 0 {
+		t.Error("no pruning drops observed; timeout trigger not visible in the series")
+	}
+}
+
+func TestFig8ConflictsDegradeCx(t *testing.T) {
+	cfg := tiny()
+	rows, ofs, _ := Fig8(cfg, []float64{0, 0.9})
+	if len(rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	if rows[1].ConflictRatio <= rows[0].ConflictRatio {
+		t.Errorf("injection did not raise conflicts: %.4f -> %.4f",
+			rows[0].ConflictRatio, rows[1].ConflictRatio)
+	}
+	if rows[1].CxReplay <= rows[0].CxReplay {
+		t.Errorf("higher conflicts should slow Cx: %v -> %v", rows[0].CxReplay, rows[1].CxReplay)
+	}
+	if rows[0].CxReplay >= ofs {
+		t.Errorf("at base conflicts Cx (%v) must beat OFS (%v)", rows[0].CxReplay, ofs)
+	}
+}
+
+func TestFig9LongerTimeoutFaster(t *testing.T) {
+	cfg := tiny()
+	rows, _ := Fig9a(cfg, []time.Duration{20 * time.Millisecond, 10 * time.Second})
+	if rows[1].ReplayTime >= rows[0].ReplayTime {
+		t.Errorf("long timeout (%v) should be faster than short (%v)",
+			rows[1].ReplayTime, rows[0].ReplayTime)
+	}
+	rowsB, _ := Fig9b(cfg, []int{2, 4096})
+	if rowsB[1].ReplayTime >= rowsB[0].ReplayTime {
+		t.Errorf("large threshold (%v) should be faster than tiny (%v)",
+			rowsB[1].ReplayTime, rowsB[0].ReplayTime)
+	}
+}
+
+func TestLatencyExtensionShape(t *testing.T) {
+	cfg := tiny()
+	rows, tbl := Latency(cfg, "CTH")
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byProto := map[string]LatencyRow{}
+	for _, r := range rows {
+		byProto[string(r.Protocol)] = r
+		if r.Mean <= 0 || r.P99 < r.P50 {
+			t.Errorf("%s: implausible distribution %+v", r.Protocol, r)
+		}
+	}
+	// Concurrent execution must cut the median against serial execution.
+	if byProto["cx"].P50 >= byProto["se"].P50 {
+		t.Errorf("Cx p50 (%v) not below SE p50 (%v)", byProto["cx"].P50, byProto["se"].P50)
+	}
+	if !strings.Contains(tbl.String(), "p99") {
+		t.Error("table malformed")
+	}
+}
+
+func TestTriggersExtension(t *testing.T) {
+	cfg := tiny()
+	rows, _ := Triggers(cfg)
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byName := map[string]TriggerRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.ReplayTime <= 0 {
+			t.Errorf("%s: no replay time", r.Name)
+		}
+	}
+	// A fast timeout forces many small batches and must be slower than the
+	// long-timeout optimum; the idle trigger should land near the optimum
+	// (the replay has no long quiet periods, so it rarely fires mid-run).
+	if byName["timeout-100ms"].ReplayTime < byName["timeout-10s"].ReplayTime {
+		t.Errorf("fast timeout (%v) beat slow (%v)", byName["timeout-100ms"].ReplayTime, byName["timeout-10s"].ReplayTime)
+	}
+	slack := byName["timeout-10s"].ReplayTime + byName["timeout-10s"].ReplayTime/4
+	if byName["idle-200ms"].ReplayTime > slack {
+		t.Errorf("idle trigger (%v) far off the optimum (%v)", byName["idle-200ms"].ReplayTime, byName["timeout-10s"].ReplayTime)
+	}
+}

@@ -1,0 +1,347 @@
+// Package kvstore is the embedded metadata database of one server — the
+// stand-in for the Berkeley DB instance each OrangeFS metadata server keeps
+// on its local ext3 disk.
+//
+// It supports the two write disciplines the paper compares:
+//
+//   - synchronous: every Put/Delete pays a page write to the disk model
+//     before returning (plain OFS: "synchronously writing the updated
+//     objects into BDB for every sub-op"), and
+//   - batched write-back: mutations dirty in-memory pages; Flush later
+//     submits all dirty pages to the disk in one burst, where the elevator
+//     merges adjacent pages (OFS-batched and OFS-Cx).
+//
+// Page placement models OrangeFS's observation that metadata objects of a
+// single directory are "sequentially placed on disk": pages are allocated in
+// first-write order, so a stream of creates into one directory lands on
+// adjacent pages and batched flushes merge into long sequential passes.
+//
+// The store tracks two images of the data: the volatile image that requests
+// read and write, and the durable image that reflects completed page writes.
+// Crash discards the volatile image; Recover reloads it from the durable
+// one. The protocol layers use this to verify crash-consistency invariants.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cxfs/internal/disk"
+	"cxfs/internal/simrt"
+)
+
+// PageSize is the database page size charged per dirtied key (BDB default
+// is 4KB; metadata rows are small so one row maps to one page here).
+const PageSize = 4096
+
+// Stats aggregates store activity.
+type Stats struct {
+	Puts       uint64
+	Deletes    uint64
+	Gets       uint64
+	SyncWrites uint64 // pages written synchronously
+	Flushes    uint64 // batched flush calls
+	FlushPages uint64 // pages written by batched flushes
+}
+
+// JournalRecBytes is the database-journal cost charged per synchronously
+// written row: the row image plus BDB-style log headers (first
+// write after a checkpoint logs the whole page, later writes log deltas;
+// this is the blended average).
+const JournalRecBytes = 1024
+
+// SyncCommitCPU is the serialized commit-path cost of one synchronous
+// database transaction: OrangeFS's Trove layer funnels every BDB operation
+// through a single DB thread, so B-tree update + txn bookkeeping + commit
+// syscalls serialize per server even when the journal writes themselves
+// group-commit. This is the structural reason OFS-batched beats plain OFS
+// by ~15% in the paper despite both paying one sync log write per sub-op.
+const SyncCommitCPU = 300 * time.Microsecond
+
+// Store is one server's metadata database.
+type Store struct {
+	sim  *simrt.Sim
+	dsk  *disk.Disk
+	base int64 // disk offset of the database region
+
+	mem     map[string][]byte // volatile image
+	durable map[string][]byte // image implied by completed page writes
+	slots   map[string]int64  // key -> page slot, assigned at first write
+	next    int64             // next free page slot
+	dirty   map[string]bool   // keys with volatile changes not yet written
+
+	// Synchronous-mode machinery: BDB-style transaction journal plus a
+	// periodic checkpointer writing journaled pages in place. syncMu is
+	// the Trove-style single DB thread.
+	journalBase int64
+	journalTail int64
+	ckptPending map[string]bool
+	syncMu      *simrt.Mutex
+
+	stats Stats
+}
+
+// New creates a store whose pages live at disk offset base and whose
+// transaction journal (used only by the synchronous write path) lives at
+// journalBase.
+func New(s *simrt.Sim, d *disk.Disk, base int64) *Store {
+	return NewWithJournal(s, d, base, base/2)
+}
+
+// NewWithJournal places the journal region explicitly.
+func NewWithJournal(s *simrt.Sim, d *disk.Disk, base, journalBase int64) *Store {
+	return &Store{
+		sim: s, dsk: d, base: base, journalBase: journalBase,
+		mem:         make(map[string][]byte),
+		durable:     make(map[string][]byte),
+		slots:       make(map[string]int64),
+		dirty:       make(map[string]bool),
+		ckptPending: make(map[string]bool),
+		syncMu:      simrt.NewMutex(s),
+	}
+}
+
+// Stats returns a snapshot of accumulated counters.
+func (st *Store) Stats() Stats { return st.stats }
+
+// Get returns the volatile value for key. The database cache is assumed
+// warm (the paper sizes workloads so metadata fits server memory), so reads
+// cost no disk time.
+func (st *Store) Get(key string) ([]byte, bool) {
+	st.stats.Gets++
+	v, ok := st.mem[key]
+	return v, ok
+}
+
+// Put stores key=val in the volatile image and marks the page dirty.
+func (st *Store) Put(key string, val []byte) {
+	st.stats.Puts++
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	st.mem[key] = cp
+	st.dirty[key] = true
+	st.slot(key)
+}
+
+// Delete removes key from the volatile image and marks the page dirty (a
+// deletion still rewrites the page holding the row).
+func (st *Store) Delete(key string) {
+	st.stats.Deletes++
+	delete(st.mem, key)
+	st.dirty[key] = true
+	st.slot(key)
+}
+
+// slot returns the page slot for key, allocating in first-write order.
+func (st *Store) slot(key string) int64 {
+	if s, ok := st.slots[key]; ok {
+		return s
+	}
+	s := st.next
+	st.next++
+	st.slots[key] = s
+	return s
+}
+
+// SyncKeys makes the given rows durable synchronously, the way a BDB
+// transactional put does: one sequential append to the database's
+// transaction journal (group-committable in the elevator with concurrent
+// puts), with the in-place page write deferred to the periodic
+// checkpointer. This is the per-sub-op synchronous path of plain OFS, 2PC,
+// and CE. Callers that rely on it must run a checkpointer
+// (StartCheckpointer) so the in-place traffic is actually paid.
+func (st *Store) SyncKeys(p *simrt.Proc, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	// The single DB thread: commit-path work serializes per server.
+	st.syncMu.Lock(p)
+	p.Sleep(time.Duration(len(keys)) * SyncCommitCPU)
+	st.syncMu.Unlock()
+	size := int64(len(keys)) * JournalRecBytes
+	off := st.journalBase + st.journalTail
+	st.journalTail += size
+	st.dsk.Access(p, off, size, true)
+	for _, k := range keys {
+		st.stats.SyncWrites++
+		st.settle(k)
+		st.ckptPending[k] = true
+	}
+}
+
+// StartCheckpointer launches the periodic checkpoint daemon: every interval
+// it writes the in-place pages of journaled rows back in one merged burst,
+// like BDB's trickle/checkpoint threads. Call at most once per store.
+func (st *Store) StartCheckpointer(interval time.Duration) {
+	st.sim.Spawn("kv/checkpoint", func(p *simrt.Proc) {
+		for {
+			p.Sleep(interval)
+			st.Checkpoint(p)
+		}
+	})
+}
+
+// Checkpoint writes all journaled-but-not-checkpointed pages in place.
+func (st *Store) Checkpoint(p *simrt.Proc) int {
+	if len(st.ckptPending) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(st.ckptPending))
+	for k := range st.ckptPending {
+		keys = append(keys, k)
+	}
+	st.ckptPending = make(map[string]bool)
+	sort.Slice(keys, func(i, j int) bool { return st.slots[keys[i]] < st.slots[keys[j]] })
+	chans := make([]*simrt.Chan[struct{}], len(keys))
+	for i, k := range keys {
+		chans[i] = st.dsk.Submit(st.pageOffset(k), PageSize, true)
+	}
+	for _, c := range chans {
+		c.Recv(p)
+	}
+	st.stats.FlushPages += uint64(len(keys))
+	return len(keys)
+}
+
+// DirtyCount returns the number of dirty pages awaiting flush.
+func (st *Store) DirtyCount() int { return len(st.dirty) }
+
+// FlushDirty submits every dirty page to the disk in one burst and waits
+// for all of them; the elevator merges adjacent pages. This is the batched
+// write-back path of OFS-batched and OFS-Cx.
+func (st *Store) FlushDirty(p *simrt.Proc) int {
+	if len(st.dirty) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(st.dirty))
+	for k := range st.dirty {
+		keys = append(keys, k)
+	}
+	// Deterministic submission order (ascending slot = disk layout order).
+	sort.Slice(keys, func(i, j int) bool { return st.slots[keys[i]] < st.slots[keys[j]] })
+	chans := make([]*simrt.Chan[struct{}], len(keys))
+	for i, k := range keys {
+		chans[i] = st.dsk.Submit(st.pageOffset(k), PageSize, true)
+	}
+	for _, c := range chans {
+		c.Recv(p)
+	}
+	for _, k := range keys {
+		st.settle(k)
+	}
+	st.stats.Flushes++
+	st.stats.FlushPages += uint64(len(keys))
+	return len(keys)
+}
+
+// FlushKeys flushes only the named keys (used when a commitment flushes the
+// objects of its batch rather than the whole cache).
+func (st *Store) FlushKeys(p *simrt.Proc, keys []string) {
+	pending := keys[:0]
+	for _, k := range keys {
+		if st.dirty[k] {
+			pending = append(pending, k)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	sort.Slice(pending, func(i, j int) bool { return st.slots[pending[i]] < st.slots[pending[j]] })
+	chans := make([]*simrt.Chan[struct{}], len(pending))
+	for i, k := range pending {
+		chans[i] = st.dsk.Submit(st.pageOffset(k), PageSize, true)
+	}
+	for _, c := range chans {
+		c.Recv(p)
+	}
+	for _, k := range pending {
+		st.settle(k)
+	}
+	st.stats.Flushes++
+	st.stats.FlushPages += uint64(len(pending))
+}
+
+// settle moves key's volatile value into the durable image and clears its
+// dirty mark.
+func (st *Store) settle(key string) {
+	delete(st.dirty, key)
+	if v, ok := st.mem[key]; ok {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		st.durable[key] = cp
+	} else {
+		delete(st.durable, key)
+	}
+}
+
+func (st *Store) pageOffset(key string) int64 {
+	return st.base + st.slot(key)*PageSize
+}
+
+// Crash discards the volatile image, simulating a server power loss: the
+// store's contents revert to the durable image on the next Recover.
+func (st *Store) Crash() {
+	st.mem = nil
+	st.dirty = make(map[string]bool)
+}
+
+// Recover reloads the volatile image from the durable one after a crash.
+func (st *Store) Recover() {
+	st.mem = make(map[string][]byte, len(st.durable))
+	for k, v := range st.durable {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		st.mem[k] = cp
+	}
+}
+
+// Snapshot returns a copy of the volatile image; invariant checkers use it
+// to compare cross-server state after quiescence.
+func (st *Store) Snapshot() map[string][]byte {
+	out := make(map[string][]byte, len(st.mem))
+	for k, v := range st.mem {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out[k] = cp
+	}
+	return out
+}
+
+// DurableSnapshot returns a copy of the durable image.
+func (st *Store) DurableSnapshot() map[string][]byte {
+	out := make(map[string][]byte, len(st.durable))
+	for k, v := range st.durable {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out[k] = cp
+	}
+	return out
+}
+
+// Forget drops a key from the volatile image without scheduling a disk
+// write — used by CE when a migrated row returns to its home server and the
+// temporary local copy must vanish without becoming durable here.
+func (st *Store) Forget(key string) {
+	delete(st.mem, key)
+	delete(st.dirty, key)
+	delete(st.durable, key)
+}
+
+// Range calls fn for every volatile row until fn returns false. Iteration
+// order is unspecified; callers needing determinism must sort.
+func (st *Store) Range(fn func(key string, val []byte) bool) {
+	for k, v := range st.mem {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Len returns the number of volatile rows.
+func (st *Store) Len() int { return len(st.mem) }
+
+// String renders store state for debugging.
+func (st *Store) String() string {
+	return fmt.Sprintf("kv{rows=%d dirty=%d durable=%d}", len(st.mem), len(st.dirty), len(st.durable))
+}

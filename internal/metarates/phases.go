@@ -1,0 +1,116 @@
+package metarates
+
+import (
+	"fmt"
+	"time"
+
+	"cxfs/internal/cluster"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// Phased mode mirrors the real Metarates binary more literally than the
+// mixed run: MPI ranks proceed through barriered phases — create all files,
+// utime them, stat them, delete them — and the tool reports an aggregate
+// transaction rate per phase. The create and delete phases are the
+// cross-server stress; utime and stat isolate single-server update and
+// read paths.
+
+// PhaseResult is one phase's aggregate rate.
+type PhaseResult struct {
+	Name    string
+	Ops     int
+	Elapsed time.Duration
+	Rate    float64 // operations per second, aggregated over all processes
+}
+
+// RunPhased executes the four Metarates phases with barriers and returns
+// per-phase results. filesPerProc sizes every phase.
+func RunPhased(c *cluster.Cluster, filesPerProc int) []PhaseResult {
+	nProcs := c.NumProcs()
+	type fileRef struct {
+		name string
+		ino  types.InodeID
+	}
+	files := make([][]fileRef, nProcs)
+
+	var dirIno types.InodeID
+	results := make([]PhaseResult, 0, 4)
+
+	// barrierRun executes one phase body on every process between
+	// barriers and measures the span.
+	barrierRun := func(name string, body func(p *simrt.Proc, pr *cluster.Process, rank int)) {
+		g := simrt.NewGroup(c.Sim)
+		g.Add(nProcs)
+		var start, end time.Duration
+		c.Sim.Rearm()
+		start = c.Sim.Now()
+		for i := 0; i < nProcs; i++ {
+			i := i
+			pr := c.Proc(i)
+			c.Sim.Spawn(fmt.Sprintf("metarates/%s/%d", name, i), func(p *simrt.Proc) {
+				body(p, pr, i)
+				g.Done()
+			})
+		}
+		c.Sim.Spawn("metarates/barrier", func(p *simrt.Proc) {
+			g.Wait(p)
+			end = p.Now()
+			c.Sim.Stop()
+		})
+		c.Sim.Run()
+		ops := nProcs * filesPerProc
+		res := PhaseResult{Name: name, Ops: ops, Elapsed: end - start}
+		if res.Elapsed > 0 {
+			res.Rate = float64(ops) / res.Elapsed.Seconds()
+		}
+		results = append(results, res)
+	}
+
+	// Setup (unmeasured).
+	c.Sim.Rearm()
+	c.Sim.Spawn("metarates/setup", func(p *simrt.Proc) {
+		ino, err := c.Proc(0).Mkdir(p, types.RootInode, "metarates-phased")
+		if err != nil {
+			panic(fmt.Sprintf("metarates: %v", err))
+		}
+		dirIno = ino
+		c.Sim.Stop()
+	})
+	c.Sim.Run()
+
+	barrierRun("create", func(p *simrt.Proc, pr *cluster.Process, rank int) {
+		for j := 0; j < filesPerProc; j++ {
+			name := fmt.Sprintf("ph.%d.%d", rank, j)
+			ino, err := pr.Create(p, dirIno, name)
+			if err != nil {
+				continue
+			}
+			files[rank] = append(files[rank], fileRef{name, ino})
+		}
+	})
+	barrierRun("utime", func(p *simrt.Proc, pr *cluster.Process, rank int) {
+		for _, f := range files[rank] {
+			pr.SetAttr(p, f.ino)
+		}
+	})
+	barrierRun("stat", func(p *simrt.Proc, pr *cluster.Process, rank int) {
+		for _, f := range files[rank] {
+			pr.Stat(p, f.ino)
+		}
+	})
+	barrierRun("delete", func(p *simrt.Proc, pr *cluster.Process, rank int) {
+		for _, f := range files[rank] {
+			pr.Remove(p, dirIno, f.name, f.ino)
+		}
+	})
+
+	// Settle commitments after the measured phases.
+	c.Sim.Rearm()
+	c.Sim.Spawn("metarates/settle", func(p *simrt.Proc) {
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.Run()
+	return results
+}

@@ -1,0 +1,55 @@
+package metarates
+
+import (
+	"testing"
+
+	"cxfs/internal/cluster"
+)
+
+func TestRunPhasedProducesAllFourPhases(t *testing.T) {
+	c := smallCluster(4, cluster.ProtoCx)
+	defer c.Shutdown()
+	res := RunPhased(c, 10)
+	if len(res) != 4 {
+		t.Fatalf("phases=%d, want 4", len(res))
+	}
+	names := []string{"create", "utime", "stat", "delete"}
+	for i, r := range res {
+		if r.Name != names[i] {
+			t.Errorf("phase %d = %s, want %s", i, r.Name, names[i])
+		}
+		if r.Rate <= 0 {
+			t.Errorf("phase %s has no rate", r.Name)
+		}
+	}
+	// Stats are reads: the stat phase must be the fastest.
+	if res[2].Rate <= res[0].Rate {
+		t.Errorf("stat rate (%.0f) should exceed create rate (%.0f)", res[2].Rate, res[0].Rate)
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}
+
+func TestPhasedCxBeatsSEOnCreatePhase(t *testing.T) {
+	rate := func(proto cluster.Protocol) float64 {
+		c := smallCluster(4, proto)
+		defer c.Shutdown()
+		return RunPhased(c, 12)[0].Rate
+	}
+	cx, se := rate(cluster.ProtoCx), rate(cluster.ProtoSE)
+	if cx <= se {
+		t.Errorf("Cx create phase (%.0f ops/s) not faster than SE (%.0f)", cx, se)
+	}
+}
+
+func TestPhasedDeleteCleansNamespace(t *testing.T) {
+	c := smallCluster(2, cluster.ProtoCx)
+	defer c.Shutdown()
+	RunPhased(c, 8)
+	// After the delete phase and settling, only the benchmark directory
+	// remains; every file is gone.
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}

@@ -1,0 +1,545 @@
+// Package namespace implements one metadata server's shard of the file
+// system namespace: directory entries and inodes stored as rows in the
+// server's kvstore, plus the placement policy that decides which server
+// coordinates and which participates in a cross-server operation.
+//
+// Placement follows OrangeFS as described in §IV.A of the paper: "a
+// directory entry is assigned to a server based on its name hash value, and
+// the file's metadata object (inode) is randomly created on one server in
+// the cluster". Large directories are therefore striped across all servers
+// (the paper's Metarates setup exploits exactly this), and an operation is
+// cross-server whenever the two placements land on different servers.
+//
+// Execution produces a before-image undo for every mutation, which is what
+// the Cx abort path and the SE CLEAR path replay to roll a provisional
+// sub-operation back.
+package namespace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"cxfs/internal/kvstore"
+	"cxfs/internal/types"
+)
+
+// Placement maps metadata objects to servers.
+type Placement struct {
+	Servers int
+}
+
+// CoordinatorFor returns the server holding the directory-entry partition
+// for (parent, name) — the coordinator of any operation on that entry.
+func (pl Placement) CoordinatorFor(parent types.InodeID, name string) types.NodeID {
+	h := fnv.New32a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(parent))
+	h.Write(b[:])
+	h.Write([]byte(name))
+	return types.NodeID(h.Sum32() % uint32(pl.Servers))
+}
+
+// ParticipantFor returns the server holding inode ino. Inode numbers are
+// allocated with a server-selecting low field (see InodeAlloc), emulating
+// OrangeFS's random inode placement while keeping the mapping derivable
+// from the ID alone.
+func (pl Placement) ParticipantFor(ino types.InodeID) types.NodeID {
+	return types.NodeID(uint64(ino) % uint64(pl.Servers))
+}
+
+// InodeAlloc hands out inode numbers that place on a chosen server.
+// Clients keep one; the cluster seeds each with a disjoint range.
+type InodeAlloc struct {
+	pl   Placement
+	next uint64
+}
+
+// NewInodeAlloc creates an allocator whose IDs start at base (base must be
+// unique per client to avoid collisions).
+func NewInodeAlloc(pl Placement, base uint64) *InodeAlloc {
+	return &InodeAlloc{pl: pl, next: base}
+}
+
+// Next returns a fresh inode ID that ParticipantFor maps to server.
+func (a *InodeAlloc) Next(server types.NodeID) types.InodeID {
+	n := a.next
+	a.next++
+	// Shift the counter into the high bits and use the low field to select
+	// the server deterministically.
+	return types.InodeID(n*uint64(a.pl.Servers) + uint64(server))
+}
+
+// Inode is the attribute block stored per file or directory; it is an alias
+// of types.Inode so wire payloads and shard rows share one definition.
+type Inode = types.Inode
+
+// encodeInode serializes an inode row.
+func encodeInode(in Inode) []byte {
+	buf := make([]byte, 0, 8+1+4+8+8+8)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(in.Ino))
+	buf = append(buf, byte(in.Type))
+	buf = binary.LittleEndian.AppendUint32(buf, in.Nlink)
+	buf = binary.LittleEndian.AppendUint64(buf, in.Size)
+	buf = binary.LittleEndian.AppendUint64(buf, in.Ctime)
+	buf = binary.LittleEndian.AppendUint64(buf, in.Mtime)
+	return buf
+}
+
+// decodeInode parses an inode row.
+func decodeInode(b []byte) (Inode, error) {
+	var in Inode
+	if len(b) != 37 {
+		return in, fmt.Errorf("namespace: bad inode row length %d", len(b))
+	}
+	in.Ino = types.InodeID(binary.LittleEndian.Uint64(b[0:8]))
+	in.Type = types.FileType(b[8])
+	in.Nlink = binary.LittleEndian.Uint32(b[9:13])
+	in.Size = binary.LittleEndian.Uint64(b[13:21])
+	in.Ctime = binary.LittleEndian.Uint64(b[21:29])
+	in.Mtime = binary.LittleEndian.Uint64(b[29:37])
+	return in, nil
+}
+
+// Row keys. Dentries and inodes share the store with distinct prefixes.
+func dentryRow(dir types.InodeID, name string) string {
+	return fmt.Sprintf("d/%d/%s", dir, name)
+}
+
+func inodeRow(ino types.InodeID) string {
+	return fmt.Sprintf("i/%d", ino)
+}
+
+// RowKey returns the kvstore row key for an object key; the protocols use
+// it to flush exactly the objects a commitment batch touched.
+func RowKey(k types.ObjKey) string {
+	switch k.Kind {
+	case types.ObjDentry:
+		return dentryRow(k.Dir, k.Name)
+	case types.ObjInode:
+		return inodeRow(k.Ino)
+	}
+	panic("namespace: RowKey on invalid ObjKey")
+}
+
+// Undo rolls back one sub-operation. Primary objects (the dentry or inode
+// the sub-op targets) are restored from before-images; the parent-inode
+// attribute bump that rides along with entry insertion/removal is undone by
+// a *compensating* adjustment instead, because concurrent operations on the
+// same directory update it commutatively and a before-image would clobber
+// their effects.
+type Undo struct {
+	rows    map[string][]byte // before-images; nil value = row did not exist
+	adjusts []parentAdjust
+}
+
+// parentAdjust compensates the "update parent inode" piggyback.
+type parentAdjust struct {
+	dir       types.InodeID
+	sizeDelta int64
+}
+
+// Empty reports whether the undo has nothing to restore (read-only sub-op).
+func (u *Undo) Empty() bool { return u == nil || (len(u.rows) == 0 && len(u.adjusts) == 0) }
+
+// Keys returns the row keys the undo touches (for flushing after an abort).
+func (u *Undo) Keys() []string {
+	if u == nil {
+		return nil
+	}
+	out := make([]string, 0, len(u.rows)+len(u.adjusts))
+	for k := range u.rows {
+		out = append(out, k)
+	}
+	for _, a := range u.adjusts {
+		out = append(out, inodeRow(a.dir))
+	}
+	return out
+}
+
+// Result is the outcome of executing a sub-operation.
+type Result struct {
+	OK    bool
+	Err   error    // why the sub-op failed (nil when OK)
+	Inode Inode    // stat/lookup payload
+	Rows  []string // row keys written (for persistence)
+	Undo  *Undo    // runtime rollback (nil for reads)
+	Freed bool     // DecLink dropped nlink to zero and freed the inode
+
+	// Before and After are images of the *primary* rows the sub-op wrote
+	// (the targeted dentry or inode; not the commutative parent counter).
+	// They travel in the Result-Record so crash recovery can redo a commit
+	// or undo an abort idempotently by installing images.
+	Before []types.RowImage
+	After  []types.RowImage
+}
+
+// Shard is one server's namespace partition.
+type Shard struct {
+	kv *kvstore.Store
+}
+
+// NewShard wraps a store.
+func NewShard(kv *kvstore.Store) *Shard { return &Shard{kv: kv} }
+
+// Store exposes the underlying kvstore (the protocols drive persistence).
+func (sh *Shard) Store() *kvstore.Store { return sh.kv }
+
+// InitRoot installs the root directory inode on the shard that owns it.
+func (sh *Shard) InitRoot() {
+	sh.kv.Put(inodeRow(types.RootInode), encodeInode(Inode{
+		Ino: types.RootInode, Type: types.FileDir, Nlink: 2,
+	}))
+}
+
+// SeedInode force-installs an inode row (test and trace-bootstrap helper).
+func (sh *Shard) SeedInode(in Inode) {
+	sh.kv.Put(inodeRow(in.Ino), encodeInode(in))
+}
+
+// SeedDentry force-installs a directory entry (test and bootstrap helper).
+func (sh *Shard) SeedDentry(dir types.InodeID, name string, ino types.InodeID) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(ino))
+	sh.kv.Put(dentryRow(dir, name), b[:])
+}
+
+// GetInode reads an inode row.
+func (sh *Shard) GetInode(ino types.InodeID) (Inode, bool) {
+	raw, ok := sh.kv.Get(inodeRow(ino))
+	if !ok {
+		return Inode{}, false
+	}
+	in, err := decodeInode(raw)
+	if err != nil {
+		panic(err) // corruption is a bug, not a runtime condition
+	}
+	return in, true
+}
+
+// LookupEntry resolves (dir, name) to an inode number.
+func (sh *Shard) LookupEntry(dir types.InodeID, name string) (types.InodeID, bool) {
+	raw, ok := sh.kv.Get(dentryRow(dir, name))
+	if !ok {
+		return 0, false
+	}
+	return types.InodeID(binary.LittleEndian.Uint64(raw)), true
+}
+
+// Exec applies one sub-operation to the volatile image, returning its
+// result and undo. now is the virtual timestamp for ctime/mtime fields.
+// Exec never touches the disk; persistence (sync or batched) is the
+// caller's protocol decision.
+func (sh *Shard) Exec(sub types.SubOp, now uint64) Result {
+	primary := sh.primaryRow(sub)
+	before := sh.imageOf(primary)
+	res := sh.exec(sub, now)
+	if res.OK && res.Undo != nil && primary != "" {
+		res.Before = []types.RowImage{before}
+		res.After = []types.RowImage{sh.imageOf(primary)}
+	}
+	return res
+}
+
+// primaryRow names the row a sub-op targets (excluding the parent counter).
+func (sh *Shard) primaryRow(sub types.SubOp) string {
+	switch sub.Action {
+	case types.ActInsertEntry, types.ActRemoveEntry:
+		return dentryRow(sub.Parent, sub.Name)
+	case types.ActAddInode, types.ActDecLink, types.ActIncLink, types.ActTouchInode:
+		return inodeRow(sub.Ino)
+	}
+	return ""
+}
+
+// imageOf snapshots one row.
+func (sh *Shard) imageOf(row string) types.RowImage {
+	if row == "" {
+		return types.RowImage{}
+	}
+	img := types.RowImage{Key: row}
+	if v, ok := sh.kv.Get(row); ok {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		img.Val = cp
+	}
+	return img
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name string
+	Ino  types.InodeID
+}
+
+// ListDir scans this shard's partition of directory dir. Directories are
+// striped across servers by entry hash, so a full readdir unions the
+// ListDir of every server (the OrangeFS model).
+func (sh *Shard) ListDir(dir types.InodeID) []DirEntry {
+	prefix := fmt.Sprintf("d/%d/", dir)
+	var out []DirEntry
+	sh.kv.Range(func(key string, val []byte) bool {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix && len(val) == 8 {
+			out = append(out, DirEntry{
+				Name: key[len(prefix):],
+				Ino:  types.InodeID(binary.LittleEndian.Uint64(val)),
+			})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Fsck recomputes every directory inode's entry count from the dentry rows
+// actually present — the local consistency pass a rebooted server runs after
+// log-driven redo/undo, because the commutative parent counter is not
+// protected by row images. It returns the number of corrected inodes.
+func (sh *Shard) Fsck() int {
+	counts := make(map[types.InodeID]uint64)
+	var dirs []types.InodeID
+	sh.kv.Range(func(key string, _ []byte) bool {
+		var dir uint64
+		var rest string
+		if n, err := fmt.Sscanf(key, "d/%d/%s", &dir, &rest); err == nil && n == 2 {
+			counts[types.InodeID(dir)]++
+		}
+		return true
+	})
+	sh.kv.Range(func(key string, _ []byte) bool {
+		var ino uint64
+		if n, err := fmt.Sscanf(key, "i/%d", &ino); err == nil && n == 1 {
+			dirs = append(dirs, types.InodeID(ino))
+		}
+		return true
+	})
+	fixed := 0
+	for _, ino := range dirs {
+		in, ok := sh.GetInode(ino)
+		if !ok || in.Type != types.FileDir {
+			continue
+		}
+		if want := counts[ino]; in.Size != want {
+			in.Size = want
+			sh.kv.Put(inodeRow(ino), encodeInode(in))
+			fixed++
+		}
+	}
+	return fixed
+}
+
+// InstallImages force-installs row images; recovery redo/undo path.
+func (sh *Shard) InstallImages(imgs []types.RowImage) {
+	for _, img := range imgs {
+		if img.Key == "" {
+			continue
+		}
+		if img.Val == nil {
+			sh.kv.Delete(img.Key)
+		} else {
+			sh.kv.Put(img.Key, img.Val)
+		}
+	}
+}
+
+func (sh *Shard) exec(sub types.SubOp, now uint64) Result {
+	switch sub.Action {
+	case types.ActInsertEntry:
+		return sh.insertEntry(sub, now)
+	case types.ActRemoveEntry:
+		return sh.removeEntry(sub, now)
+	case types.ActAddInode:
+		return sh.addInode(sub, now)
+	case types.ActDecLink:
+		return sh.decLink(sub, now)
+	case types.ActIncLink:
+		return sh.incLink(sub, now)
+	case types.ActReadInode:
+		return sh.readInode(sub)
+	case types.ActReadEntry:
+		return sh.readEntry(sub)
+	case types.ActTouchInode:
+		return sh.touchInode(sub, now)
+	}
+	return Result{OK: false, Err: fmt.Errorf("namespace: unknown action %v", sub.Action)}
+}
+
+// ApplyUndo restores the before-images captured by a prior Exec and applies
+// the compensating parent adjustments.
+func (sh *Shard) ApplyUndo(u *Undo) {
+	if u == nil {
+		return
+	}
+	for row, img := range u.rows {
+		if img == nil {
+			sh.kv.Delete(row)
+		} else {
+			sh.kv.Put(row, img)
+		}
+	}
+	for _, a := range u.adjusts {
+		parent, ok := sh.GetInode(a.dir)
+		if !ok {
+			continue
+		}
+		if a.sizeDelta < 0 && parent.Size < uint64(-a.sizeDelta) {
+			parent.Size = 0
+		} else {
+			parent.Size = uint64(int64(parent.Size) + a.sizeDelta)
+		}
+		sh.kv.Put(inodeRow(a.dir), encodeInode(parent))
+	}
+}
+
+// capture records row's current image into u before it is overwritten.
+func (sh *Shard) capture(u *Undo, row string) {
+	if _, done := u.rows[row]; done {
+		return
+	}
+	if v, ok := sh.kv.Get(row); ok {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		u.rows[row] = cp
+	} else {
+		u.rows[row] = nil
+	}
+}
+
+func newUndo() *Undo { return &Undo{rows: make(map[string][]byte)} }
+
+func (sh *Shard) insertEntry(sub types.SubOp, now uint64) Result {
+	row := dentryRow(sub.Parent, sub.Name)
+	if _, exists := sh.kv.Get(row); exists {
+		return Result{Err: fmt.Errorf("insert %s: %w", sub.Name, types.ErrExists)}
+	}
+	u := newUndo()
+	sh.capture(u, row)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(sub.Ino))
+	sh.kv.Put(row, b[:])
+	rows := []string{row}
+	// "and update parent inode": bump mtime/size when we hold the parent
+	// inode row (large striped directories keep it on another server; the
+	// paper folds that update into the coordinator sub-op, so we only apply
+	// it when present). Undone by compensation, not before-image.
+	if parent, ok := sh.GetInode(sub.Parent); ok {
+		prow := inodeRow(sub.Parent)
+		parent.Mtime = now
+		parent.Size++
+		sh.kv.Put(prow, encodeInode(parent))
+		rows = append(rows, prow)
+		u.adjusts = append(u.adjusts, parentAdjust{dir: sub.Parent, sizeDelta: -1})
+	}
+	return Result{OK: true, Rows: rows, Undo: u}
+}
+
+func (sh *Shard) removeEntry(sub types.SubOp, now uint64) Result {
+	row := dentryRow(sub.Parent, sub.Name)
+	if _, exists := sh.kv.Get(row); !exists {
+		return Result{Err: fmt.Errorf("remove %s: %w", sub.Name, types.ErrNotFound)}
+	}
+	u := newUndo()
+	sh.capture(u, row)
+	sh.kv.Delete(row)
+	rows := []string{row}
+	if parent, ok := sh.GetInode(sub.Parent); ok {
+		prow := inodeRow(sub.Parent)
+		parent.Mtime = now
+		if parent.Size > 0 {
+			parent.Size--
+		}
+		sh.kv.Put(prow, encodeInode(parent))
+		rows = append(rows, prow)
+		u.adjusts = append(u.adjusts, parentAdjust{dir: sub.Parent, sizeDelta: +1})
+	}
+	return Result{OK: true, Rows: rows, Undo: u}
+}
+
+func (sh *Shard) addInode(sub types.SubOp, now uint64) Result {
+	row := inodeRow(sub.Ino)
+	if _, exists := sh.kv.Get(row); exists {
+		return Result{Err: fmt.Errorf("add inode %d: %w", sub.Ino, types.ErrExists)}
+	}
+	u := newUndo()
+	sh.capture(u, row)
+	nlink := uint32(1)
+	if sub.Type == types.FileDir {
+		nlink = 2
+	}
+	sh.kv.Put(row, encodeInode(Inode{
+		Ino: sub.Ino, Type: sub.Type, Nlink: nlink, Ctime: now, Mtime: now,
+	}))
+	return Result{OK: true, Rows: []string{row}, Undo: u}
+}
+
+func (sh *Shard) decLink(sub types.SubOp, now uint64) Result {
+	in, ok := sh.GetInode(sub.Ino)
+	if !ok {
+		return Result{Err: fmt.Errorf("declink %d: %w", sub.Ino, types.ErrNotFound)}
+	}
+	if sub.Kind == types.OpRmdir && in.Type == types.FileDir && in.Size > 0 {
+		return Result{Err: fmt.Errorf("rmdir %d: %w", sub.Ino, types.ErrNotEmpty)}
+	}
+	row := inodeRow(sub.Ino)
+	u := newUndo()
+	sh.capture(u, row)
+	dec := uint32(1)
+	if in.Type == types.FileDir {
+		dec = 2 // dropping "." and the parent link together
+	}
+	if in.Nlink <= dec {
+		sh.kv.Delete(row)
+		return Result{OK: true, Rows: []string{row}, Undo: u, Freed: true}
+	}
+	in.Nlink -= dec
+	in.Mtime = now
+	sh.kv.Put(row, encodeInode(in))
+	return Result{OK: true, Rows: []string{row}, Undo: u}
+}
+
+func (sh *Shard) incLink(sub types.SubOp, now uint64) Result {
+	in, ok := sh.GetInode(sub.Ino)
+	if !ok {
+		return Result{Err: fmt.Errorf("inclink %d: %w", sub.Ino, types.ErrNotFound)}
+	}
+	if in.Type == types.FileDir {
+		return Result{Err: fmt.Errorf("inclink %d: %w", sub.Ino, types.ErrIsDir)}
+	}
+	row := inodeRow(sub.Ino)
+	u := newUndo()
+	sh.capture(u, row)
+	in.Nlink++
+	in.Ctime = now
+	sh.kv.Put(row, encodeInode(in))
+	return Result{OK: true, Rows: []string{row}, Undo: u}
+}
+
+func (sh *Shard) readInode(sub types.SubOp) Result {
+	in, ok := sh.GetInode(sub.Ino)
+	if !ok {
+		return Result{Err: fmt.Errorf("stat %d: %w", sub.Ino, types.ErrNotFound)}
+	}
+	return Result{OK: true, Inode: in}
+}
+
+func (sh *Shard) readEntry(sub types.SubOp) Result {
+	ino, ok := sh.LookupEntry(sub.Parent, sub.Name)
+	if !ok {
+		return Result{Err: fmt.Errorf("lookup %s: %w", sub.Name, types.ErrNotFound)}
+	}
+	return Result{OK: true, Inode: Inode{Ino: ino}}
+}
+
+func (sh *Shard) touchInode(sub types.SubOp, now uint64) Result {
+	in, ok := sh.GetInode(sub.Ino)
+	if !ok {
+		return Result{Err: fmt.Errorf("setattr %d: %w", sub.Ino, types.ErrNotFound)}
+	}
+	row := inodeRow(sub.Ino)
+	u := newUndo()
+	sh.capture(u, row)
+	in.Mtime = now
+	sh.kv.Put(row, encodeInode(in))
+	return Result{OK: true, Rows: []string{row}, Undo: u}
+}

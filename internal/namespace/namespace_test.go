@@ -1,0 +1,414 @@
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cxfs/internal/disk"
+	"cxfs/internal/kvstore"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// newShard builds a shard on a throwaway simulation (Exec never blocks, so
+// the sim is only needed to construct the store).
+func newShard(t *testing.T) (*Shard, func()) {
+	t.Helper()
+	s := simrt.New(1)
+	d := disk.New(s, "d", disk.DefaultParams())
+	sh := NewShard(kvstore.New(s, d, 0))
+	return sh, func() { s.Shutdown() }
+}
+
+func sub(kind types.OpKind, action types.SubOpAction, parent types.InodeID, name string, ino types.InodeID, ft types.FileType) types.SubOp {
+	return types.SubOp{Kind: kind, Action: action, Parent: parent, Name: name, Ino: ino, Type: ft}
+}
+
+func TestCreateFlow(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.InitRoot()
+
+	res := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, types.RootInode, "f", 10, 0), 5)
+	if !res.OK {
+		t.Fatalf("insert: %v", res.Err)
+	}
+	res2 := sh.Exec(sub(types.OpCreate, types.ActAddInode, types.RootInode, "f", 10, types.FileRegular), 5)
+	if !res2.OK {
+		t.Fatalf("add inode: %v", res2.Err)
+	}
+	ino, ok := sh.LookupEntry(types.RootInode, "f")
+	if !ok || ino != 10 {
+		t.Errorf("lookup: %d %v", ino, ok)
+	}
+	in, ok := sh.GetInode(10)
+	if !ok || in.Type != types.FileRegular || in.Nlink != 1 {
+		t.Errorf("inode: %+v %v", in, ok)
+	}
+	root, _ := sh.GetInode(types.RootInode)
+	if root.Size != 1 || root.Mtime != 5 {
+		t.Errorf("parent not updated: %+v", root)
+	}
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.InitRoot()
+	if res := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, 1, "f", 10, 0), 0); !res.OK {
+		t.Fatal(res.Err)
+	}
+	res := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, 1, "f", 11, 0), 0)
+	if res.OK || !errors.Is(res.Err, types.ErrExists) {
+		t.Errorf("duplicate insert: %v", res.Err)
+	}
+}
+
+func TestRemoveMissingFails(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	res := sh.Exec(sub(types.OpRemove, types.ActRemoveEntry, 1, "ghost", 0, 0), 0)
+	if res.OK || !errors.Is(res.Err, types.ErrNotFound) {
+		t.Errorf("remove missing: %v", res.Err)
+	}
+}
+
+func TestUndoRestoresExactState(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.InitRoot()
+	before := sh.Store().Snapshot()
+
+	res := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, types.RootInode, "f", 10, 0), 7)
+	if !res.OK {
+		t.Fatal(res.Err)
+	}
+	sh.ApplyUndo(res.Undo)
+	after := sh.Store().Snapshot()
+	if len(after) != len(before) {
+		t.Fatalf("row count changed: %d -> %d", len(before), len(after))
+	}
+	if _, ok := sh.LookupEntry(types.RootInode, "f"); ok {
+		t.Error("dentry survived undo")
+	}
+	// The parent size counter is compensated back; mtime intentionally is
+	// not (commutative compensation does not roll back timestamps).
+	root, _ := sh.GetInode(types.RootInode)
+	if root.Size != 0 {
+		t.Errorf("parent size=%d after undo, want 0", root.Size)
+	}
+}
+
+func TestUndoCompensationPreservesConcurrentParentUpdates(t *testing.T) {
+	// Two inserts into the same directory; undoing the FIRST must not
+	// clobber the second's effect on the parent counter — this is why the
+	// parent update is compensated rather than restored from before-image.
+	sh, done := newShard(t)
+	defer done()
+	sh.InitRoot()
+	res1 := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, types.RootInode, "a", 10, 0), 1)
+	res2 := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, types.RootInode, "b", 11, 0), 2)
+	if !res1.OK || !res2.OK {
+		t.Fatal(res1.Err, res2.Err)
+	}
+	sh.ApplyUndo(res1.Undo)
+	root, _ := sh.GetInode(types.RootInode)
+	if root.Size != 1 {
+		t.Errorf("parent size=%d after undoing first insert, want 1 (second insert preserved)", root.Size)
+	}
+	if _, ok := sh.LookupEntry(types.RootInode, "b"); !ok {
+		t.Error("second entry lost")
+	}
+	if _, ok := sh.LookupEntry(types.RootInode, "a"); ok {
+		t.Error("first entry survived undo")
+	}
+}
+
+func TestUndoRestoresDeletedRow(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 10, Type: types.FileRegular, Nlink: 1})
+	res := sh.Exec(sub(types.OpRemove, types.ActDecLink, 0, "", 10, 0), 0)
+	if !res.OK || !res.Freed {
+		t.Fatalf("declink: %+v", res)
+	}
+	if _, ok := sh.GetInode(10); ok {
+		t.Fatal("inode not freed")
+	}
+	sh.ApplyUndo(res.Undo)
+	in, ok := sh.GetInode(10)
+	if !ok || in.Nlink != 1 {
+		t.Errorf("undo did not restore inode: %+v %v", in, ok)
+	}
+}
+
+func TestDecLinkOnDirUsesTwoLinks(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 20, Type: types.FileDir, Nlink: 2})
+	res := sh.Exec(sub(types.OpRmdir, types.ActDecLink, 0, "", 20, 0), 0)
+	if !res.OK || !res.Freed {
+		t.Errorf("rmdir declink should free dir with nlink=2: %+v", res)
+	}
+}
+
+func TestRmdirNonEmptyFails(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 20, Type: types.FileDir, Nlink: 2, Size: 3})
+	res := sh.Exec(sub(types.OpRmdir, types.ActDecLink, 0, "", 20, 0), 0)
+	if res.OK || !errors.Is(res.Err, types.ErrNotEmpty) {
+		t.Errorf("rmdir non-empty: %+v", res)
+	}
+}
+
+func TestLinkCycle(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 10, Type: types.FileRegular, Nlink: 1})
+	if res := sh.Exec(sub(types.OpLink, types.ActIncLink, 0, "", 10, 0), 0); !res.OK {
+		t.Fatal(res.Err)
+	}
+	in, _ := sh.GetInode(10)
+	if in.Nlink != 2 {
+		t.Errorf("nlink=%d, want 2", in.Nlink)
+	}
+	if res := sh.Exec(sub(types.OpUnlink, types.ActDecLink, 0, "", 10, 0), 0); !res.OK || res.Freed {
+		t.Errorf("unlink at nlink=2 must not free: %+v", res)
+	}
+	if res := sh.Exec(sub(types.OpUnlink, types.ActDecLink, 0, "", 10, 0), 0); !res.OK || !res.Freed {
+		t.Errorf("unlink at nlink=1 must free: %+v", res)
+	}
+}
+
+func TestIncLinkOnDirFails(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 20, Type: types.FileDir, Nlink: 2})
+	res := sh.Exec(sub(types.OpLink, types.ActIncLink, 0, "", 20, 0), 0)
+	if res.OK || !errors.Is(res.Err, types.ErrIsDir) {
+		t.Errorf("link on dir: %+v", res)
+	}
+}
+
+func TestStatAndLookup(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 10, Type: types.FileRegular, Nlink: 1, Size: 99})
+	sh.SeedDentry(1, "f", 10)
+
+	res := sh.Exec(sub(types.OpStat, types.ActReadInode, 0, "", 10, 0), 0)
+	if !res.OK || res.Inode.Size != 99 {
+		t.Errorf("stat: %+v", res)
+	}
+	res = sh.Exec(sub(types.OpLookup, types.ActReadEntry, 1, "f", 0, 0), 0)
+	if !res.OK || res.Inode.Ino != 10 {
+		t.Errorf("lookup: %+v", res)
+	}
+	if res.Undo != nil && !res.Undo.Empty() {
+		t.Error("read produced an undo")
+	}
+}
+
+func TestTouchInode(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 10, Type: types.FileRegular, Nlink: 1})
+	res := sh.Exec(sub(types.OpSetAttr, types.ActTouchInode, 0, "", 10, 0), 1234)
+	if !res.OK {
+		t.Fatal(res.Err)
+	}
+	in, _ := sh.GetInode(10)
+	if in.Mtime != 1234 {
+		t.Errorf("mtime=%d", in.Mtime)
+	}
+}
+
+func TestInodeCodecRoundTrip(t *testing.T) {
+	f := func(ino uint64, nlink uint32, size, ct, mt uint64, isDir bool) bool {
+		ft := types.FileRegular
+		if isDir {
+			ft = types.FileDir
+		}
+		in := Inode{Ino: types.InodeID(ino), Type: ft, Nlink: nlink, Size: size, Ctime: ct, Mtime: mt}
+		got, err := decodeInode(encodeInode(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementDeterministicAndInRange(t *testing.T) {
+	pl := Placement{Servers: 8}
+	f := func(parent uint64, name string) bool {
+		a := pl.CoordinatorFor(types.InodeID(parent), name)
+		b := pl.CoordinatorFor(types.InodeID(parent), name)
+		return a == b && a >= 0 && int(a) < pl.Servers
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementSpreadsEntries(t *testing.T) {
+	pl := Placement{Servers: 8}
+	counts := make(map[types.NodeID]int)
+	for i := 0; i < 8000; i++ {
+		counts[pl.CoordinatorFor(types.RootInode, fmt.Sprintf("file%06d", i))]++
+	}
+	for srv := 0; srv < pl.Servers; srv++ {
+		c := counts[types.NodeID(srv)]
+		if c < 500 || c > 1500 {
+			t.Errorf("server %d got %d/8000 entries; placement badly skewed", srv, c)
+		}
+	}
+}
+
+func TestInodeAllocTargetsServer(t *testing.T) {
+	pl := Placement{Servers: 5}
+	al := NewInodeAlloc(pl, 1000)
+	seen := make(map[types.InodeID]bool)
+	for srv := 0; srv < pl.Servers; srv++ {
+		for i := 0; i < 20; i++ {
+			ino := al.Next(types.NodeID(srv))
+			if pl.ParticipantFor(ino) != types.NodeID(srv) {
+				t.Fatalf("ino %d placed on %v, want %d", ino, pl.ParticipantFor(ino), srv)
+			}
+			if seen[ino] {
+				t.Fatalf("duplicate inode %d", ino)
+			}
+			seen[ino] = true
+		}
+	}
+}
+
+func TestRowKeyMatchesExecRows(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	s := sub(types.OpCreate, types.ActAddInode, 0, "", 77, types.FileRegular)
+	res := sh.Exec(s, 0)
+	if !res.OK {
+		t.Fatal(res.Err)
+	}
+	want := RowKey(types.InodeKey(77))
+	if len(res.Rows) != 1 || res.Rows[0] != want {
+		t.Errorf("rows=%v, want [%s]", res.Rows, want)
+	}
+}
+
+func TestListDirScansOnlyTargetDirectory(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedDentry(1, "a", 10)
+	sh.SeedDentry(1, "b", 11)
+	sh.SeedDentry(2, "c", 12)
+	sh.SeedInode(Inode{Ino: 10, Type: types.FileRegular, Nlink: 1})
+	entries := sh.ListDir(1)
+	if len(entries) != 2 {
+		t.Fatalf("entries=%v", entries)
+	}
+	if entries[0].Name != "a" || entries[1].Name != "b" {
+		t.Errorf("not sorted: %v", entries)
+	}
+	if entries[0].Ino != 10 || entries[1].Ino != 11 {
+		t.Errorf("inos wrong: %v", entries)
+	}
+	if got := sh.ListDir(99); len(got) != 0 {
+		t.Errorf("empty dir listed %v", got)
+	}
+}
+
+func TestFsckRecomputesDirSizes(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.SeedInode(Inode{Ino: 5, Type: types.FileDir, Nlink: 2, Size: 99}) // wrong count
+	sh.SeedDentry(5, "x", 10)
+	sh.SeedDentry(5, "y", 11)
+	sh.SeedInode(Inode{Ino: 10, Type: types.FileRegular, Nlink: 1})
+	fixed := sh.Fsck()
+	if fixed != 1 {
+		t.Errorf("fixed=%d, want 1", fixed)
+	}
+	in, _ := sh.GetInode(5)
+	if in.Size != 2 {
+		t.Errorf("dir size=%d, want 2", in.Size)
+	}
+	if sh.Fsck() != 0 {
+		t.Error("second fsck found drift")
+	}
+}
+
+func TestInstallImagesRedoAndUndo(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	sh.InitRoot()
+	res := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, types.RootInode, "img", 10, 0), 3)
+	if !res.OK || len(res.Before) != 1 || len(res.After) != 1 {
+		t.Fatalf("images missing: %+v", res)
+	}
+	// Undo via before-image.
+	sh.InstallImages(res.Before)
+	if _, ok := sh.LookupEntry(types.RootInode, "img"); ok {
+		t.Error("before-image install did not remove the entry")
+	}
+	// Redo via after-image (idempotent).
+	sh.InstallImages(res.After)
+	sh.InstallImages(res.After)
+	if ino, ok := sh.LookupEntry(types.RootInode, "img"); !ok || ino != 10 {
+		t.Errorf("after-image install: %d %v", ino, ok)
+	}
+	// Empty keys are skipped.
+	sh.InstallImages([]types.RowImage{{Key: "", Val: []byte("junk")}})
+}
+
+func TestUndoHelpers(t *testing.T) {
+	var nilUndo *Undo
+	if !nilUndo.Empty() {
+		t.Error("nil undo not empty")
+	}
+	if nilUndo.Keys() != nil {
+		t.Error("nil undo has keys")
+	}
+	sh, done := newShard(t)
+	defer done()
+	sh.InitRoot()
+	res := sh.Exec(sub(types.OpCreate, types.ActInsertEntry, types.RootInode, "u", 10, 0), 0)
+	if res.Undo.Empty() {
+		t.Error("mutating op produced empty undo")
+	}
+	keys := res.Undo.Keys()
+	if len(keys) < 2 { // dentry row + parent adjust row
+		t.Errorf("undo keys=%v", keys)
+	}
+}
+
+func TestRowKeyBothKinds(t *testing.T) {
+	if RowKey(types.DentryKey(7, "f")) != "d/7/f" {
+		t.Errorf("dentry row key: %s", RowKey(types.DentryKey(7, "f")))
+	}
+	if RowKey(types.InodeKey(42)) != "i/42" {
+		t.Errorf("inode row key: %s", RowKey(types.InodeKey(42)))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid ObjKey did not panic")
+		}
+	}()
+	RowKey(types.ObjKey{})
+}
+
+func TestExecFailurePathsProduceNoImages(t *testing.T) {
+	sh, done := newShard(t)
+	defer done()
+	res := sh.Exec(sub(types.OpRemove, types.ActRemoveEntry, 1, "nope", 0, 0), 0)
+	if res.OK || len(res.Before) != 0 || len(res.After) != 0 {
+		t.Errorf("failed op produced images: %+v", res)
+	}
+	res = sh.Exec(types.SubOp{Action: types.SubOpAction(99)}, 0)
+	if res.OK {
+		t.Error("unknown action succeeded")
+	}
+}

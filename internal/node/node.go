@@ -1,0 +1,268 @@
+// Package node provides the chassis shared by every protocol's metadata
+// server — the simulated hardware (disk, log, database, namespace shard),
+// the inbox loop, crash/reboot plumbing — and the client-side host that
+// routes server responses back to the issuing process.
+//
+// A protocol (internal/core for Cx, internal/baseline for SE/2PC/CE) embeds
+// Base and registers a message handler. The inbox loop spawns a Proc per
+// message so a handler blocked on the disk or on a peer never stalls the
+// server; the simulation runtime serializes all state access between
+// blocking points, which mirrors a coarse-grained-locked multithreaded
+// server.
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"cxfs/internal/disk"
+	"cxfs/internal/kvstore"
+	"cxfs/internal/namespace"
+	"cxfs/internal/simrt"
+	"cxfs/internal/transport"
+	"cxfs/internal/types"
+	"cxfs/internal/wal"
+	"cxfs/internal/wire"
+)
+
+// HardwareParams sizes one server's simulated hardware.
+type HardwareParams struct {
+	Disk disk.Params
+	// LogBase/JournalBase/DBBase are the disk offsets of the operation
+	// log, the database's transaction journal, and the database page
+	// regions; spreading them apart models the separate on-disk layout
+	// (and the seeks between them).
+	LogBase     int64
+	JournalBase int64
+	DBBase      int64
+	// LogMaxBytes is the operation-log upper limit (paper default 1MB);
+	// 0 = unlimited.
+	LogMaxBytes int64
+	// CPUPerSubOp is the compute charge for executing one sub-operation.
+	CPUPerSubOp time.Duration
+	// CPUPerMsg is the receive-side processing charge per message.
+	CPUPerMsg time.Duration
+}
+
+// DefaultHardware mirrors the paper's testbed servers.
+func DefaultHardware() HardwareParams {
+	return HardwareParams{
+		Disk:        disk.DefaultParams(),
+		LogBase:     0,
+		JournalBase: 32 << 20, // BDB txn journal between log and pages
+		DBBase:      64 << 20, // DB page region
+		LogMaxBytes: 1 << 20,  // 1MB log, the paper's default
+		CPUPerSubOp: 15 * time.Microsecond,
+		CPUPerMsg:   3 * time.Microsecond,
+	}
+}
+
+// Handler processes one inbound message in its own Proc.
+type Handler func(p *simrt.Proc, m wire.Msg)
+
+// Stats aggregates chassis-level activity.
+type Stats struct {
+	MsgsHandled uint64
+	SubOpsRun   uint64
+}
+
+// Base is the protocol-independent part of a metadata server.
+type Base struct {
+	ID  types.NodeID
+	Sim *simrt.Sim
+	Net *transport.Net
+
+	Disk  *disk.Disk
+	WAL   *wal.WAL
+	KV    *kvstore.Store
+	Shard *namespace.Shard
+
+	HW            HardwareParams
+	inbox         *simrt.Chan[wire.Msg]
+	handler       Handler
+	crashed       bool
+	needsRecovery bool
+
+	stats Stats
+}
+
+// NewBase builds a server's hardware and registers its inbox.
+func NewBase(s *simrt.Sim, net *transport.Net, id types.NodeID, hw HardwareParams) *Base {
+	d := disk.New(s, fmt.Sprintf("srv%d", id), hw.Disk)
+	kv := kvstore.NewWithJournal(s, d, hw.DBBase, hw.JournalBase)
+	b := &Base{
+		ID: id, Sim: s, Net: net,
+		Disk:  d,
+		WAL:   wal.New(s, d, hw.LogBase, hw.LogMaxBytes),
+		KV:    kv,
+		Shard: namespace.NewShard(kv),
+		HW:    hw,
+		inbox: net.Register(id),
+	}
+	return b
+}
+
+// Stats returns chassis counters.
+func (b *Base) Stats() Stats { return b.stats }
+
+// Start begins the inbox loop with the given handler. Call once.
+func (b *Base) Start(h Handler) {
+	b.handler = h
+	b.Sim.Spawn(fmt.Sprintf("server%d/loop", b.ID), b.loop)
+}
+
+func (b *Base) loop(p *simrt.Proc) {
+	for {
+		m, ok := b.inbox.RecvOK(p)
+		if !ok {
+			return
+		}
+		if b.crashed {
+			continue // dead servers drop traffic that raced past the NIC
+		}
+		if b.HW.CPUPerMsg > 0 {
+			p.Sleep(b.HW.CPUPerMsg)
+		}
+		b.stats.MsgsHandled++
+		if m.Type == wire.MsgPing {
+			// Liveness is answered by the chassis so the failure detector
+			// works identically under every protocol.
+			b.Send(wire.Msg{Type: wire.MsgPong, To: m.From, Op: m.Op})
+			continue
+		}
+		msg := m
+		b.Sim.Spawn(fmt.Sprintf("server%d/%v", b.ID, m.Type), func(hp *simrt.Proc) {
+			if b.crashed {
+				return
+			}
+			b.handler(hp, msg)
+		})
+	}
+}
+
+// Send transmits m with From filled in; crashed servers send nothing.
+func (b *Base) Send(m wire.Msg) {
+	if b.crashed {
+		return
+	}
+	m.From = b.ID
+	b.Net.Send(m)
+}
+
+// NowNanos returns the virtual clock as the uint64 the namespace timestamps
+// use.
+func (b *Base) NowNanos() uint64 { return uint64(b.Sim.Now()) }
+
+// ExecCPU charges the sub-op execution cost.
+func (b *Base) ExecCPU(p *simrt.Proc) {
+	b.stats.SubOpsRun++
+	if b.HW.CPUPerSubOp > 0 {
+		p.Sleep(b.HW.CPUPerSubOp)
+	}
+}
+
+// Crashed reports whether the server is down.
+func (b *Base) Crashed() bool { return b.crashed }
+
+// Crash takes the server down: the network drops its traffic, in-flight
+// handlers are silenced (they can no longer send or persist), and the
+// volatile database image is discarded. Durable state — the log index and
+// the database's durable image — survives for Reboot.
+func (b *Base) Crash() {
+	b.crashed = true
+	b.needsRecovery = true
+	b.Net.SetDown(b.ID, true)
+	b.KV.Crash()
+	b.WAL.Crash()
+}
+
+// NeedsRecovery reports whether the server crashed and has not yet
+// completed protocol recovery; protocol layers drop traffic while it is
+// set (§V: the rebooted node serves no requests until recovery finishes —
+// peers retry).
+func (b *Base) NeedsRecovery() bool { return b.needsRecovery }
+
+// RecoveryDone clears the recovery latch; called by the protocol layer at
+// the end of its recovery procedure.
+func (b *Base) RecoveryDone() { b.needsRecovery = false }
+
+// Reboot brings the hardware back: the volatile database image is reloaded
+// from the durable one and the network forwards traffic again. Protocol
+// recovery (log scan, commitment resumption) is the embedding server's job;
+// until it completes, NeedsRecovery stays set.
+func (b *Base) Reboot() {
+	b.KV.Recover()
+	b.WAL.Reboot()
+	b.crashed = false
+	b.Net.SetDown(b.ID, false)
+}
+
+// ServeReaddir answers a readdir request against this server's namespace
+// partition: directories are striped by entry hash, so each server returns
+// its slice and the client unions them. Readdir is weakly consistent by
+// design (it reflects the volatile image, including this server's
+// uncommitted executions), matching OrangeFS semantics; the paper's
+// conflict machinery covers only per-object accesses.
+func (b *Base) ServeReaddir(m wire.Msg) {
+	entries := b.Shard.ListDir(m.FullOp.Parent)
+	rows := make([]wire.Row, 0, len(entries))
+	for _, e := range entries {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], uint64(e.Ino))
+		rows = append(rows, wire.Row{Key: e.Name, Val: v[:]})
+	}
+	b.Send(wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: m.Op, OK: true, Rows: rows})
+}
+
+// Host is a client machine: it owns the inbox for its node ID and routes
+// each inbound message to the process waiting on that operation. One Host
+// carries many application processes (the paper runs 8 per client).
+type Host struct {
+	ID  types.NodeID
+	Sim *simrt.Sim
+	Net *transport.Net
+
+	inbox  *simrt.Chan[wire.Msg]
+	routes map[types.OpID]*simrt.Chan[wire.Msg]
+}
+
+// NewHost builds a client host and starts its dispatcher.
+func NewHost(s *simrt.Sim, net *transport.Net, id types.NodeID) *Host {
+	h := &Host{ID: id, Sim: s, Net: net, inbox: net.Register(id), routes: make(map[types.OpID]*simrt.Chan[wire.Msg])}
+	s.Spawn(fmt.Sprintf("host%d/dispatch", id), h.dispatch)
+	return h
+}
+
+func (h *Host) dispatch(p *simrt.Proc) {
+	for {
+		m, ok := h.inbox.RecvOK(p)
+		if !ok {
+			return
+		}
+		if ch, ok := h.routes[m.Op]; ok {
+			ch.Send(m)
+		}
+		// Responses for unrouted ops are stale (the op already completed,
+		// e.g. a superseded pre-invalidation reply) and are dropped.
+	}
+}
+
+// Open registers a response route for op and returns the channel its
+// messages arrive on. Close it with Done when the op completes.
+func (h *Host) Open(op types.OpID) *simrt.Chan[wire.Msg] {
+	ch := simrt.NewChan[wire.Msg](h.Sim)
+	h.routes[op] = ch
+	return ch
+}
+
+// Done removes the route for op.
+func (h *Host) Done(op types.OpID) {
+	delete(h.routes, op)
+}
+
+// Send transmits m with From filled in.
+func (h *Host) Send(m wire.Msg) {
+	m.From = h.ID
+	h.Net.Send(m)
+}

@@ -1,0 +1,245 @@
+package simrt
+
+import "time"
+
+// waiter is one Proc parked on a Chan receive.
+type waiter[T any] struct {
+	proc      *Proc
+	val       T
+	delivered bool
+	timedOut  bool
+}
+
+// Chan is an unbounded FIFO message queue inside a simulation. Send never
+// blocks; Recv parks the calling Proc until a value arrives. It is the
+// building block for server mailboxes, RPC reply futures, and disk queues.
+//
+// Chans must only be touched from inside the simulation (Proc bodies or
+// scheduled event functions); the scheduler serializes all access, so no
+// locking is needed or provided.
+type Chan[T any] struct {
+	sim     *Sim
+	buf     []T
+	waiters []*waiter[T]
+	closed  bool
+}
+
+// NewChan creates a Chan bound to s.
+func NewChan[T any](s *Sim) *Chan[T] {
+	return &Chan[T]{sim: s}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send enqueues v, waking the oldest parked receiver if any. The woken
+// receiver resumes at the current virtual time, after the sender's event
+// completes.
+func (c *Chan[T]) Send(v T) {
+	if c.closed {
+		panic("simrt: send on closed Chan")
+	}
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.timedOut {
+			continue
+		}
+		w.val = v
+		w.delivered = true
+		s := c.sim
+		s.schedule(s.now, func() { s.resume(w.proc, wakeMsg{}) })
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// Close marks the channel closed; parked and future receivers return the
+// zero value with ok=false from RecvOK. Recv panics on a closed empty Chan.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	s := c.sim
+	for _, w := range c.waiters {
+		if w.timedOut {
+			continue
+		}
+		w := w
+		s.schedule(s.now, func() { s.resume(w.proc, wakeMsg{}) })
+	}
+	c.waiters = nil
+}
+
+// Recv returns the next value, parking p until one is available. It panics
+// if the Chan is closed while empty; use RecvOK when closure is expected.
+func (c *Chan[T]) Recv(p *Proc) T {
+	v, ok := c.RecvOK(p)
+	if !ok {
+		panic("simrt: receive on closed Chan")
+	}
+	return v
+}
+
+// RecvOK returns the next value and true, or the zero value and false if the
+// Chan is closed and drained.
+func (c *Chan[T]) RecvOK(p *Proc) (T, bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		return v, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false
+	}
+	w := &waiter[T]{proc: p}
+	c.waiters = append(c.waiters, w)
+	p.park()
+	if !w.delivered {
+		var zero T
+		return zero, false // closed while parked
+	}
+	return w.val, true
+}
+
+// TryRecv returns the next value without blocking, or ok=false if none is
+// buffered.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// RecvTimeout is Recv with a deadline: it returns ok=false if no value
+// arrives within d of virtual time.
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (T, bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		return v, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false
+	}
+	w := &waiter[T]{proc: p}
+	c.waiters = append(c.waiters, w)
+	s := c.sim
+	s.schedule(s.now+d, func() {
+		if w.delivered || w.timedOut {
+			return
+		}
+		w.timedOut = true
+		s.resume(w.proc, wakeMsg{})
+	})
+	p.park()
+	if w.timedOut {
+		var zero T
+		return zero, false
+	}
+	if !w.delivered {
+		var zero T
+		return zero, false // closed while parked
+	}
+	// Delivered before the timeout fired; the stale timeout event will see
+	// delivered==true and do nothing.
+	return w.val, true
+}
+
+// Group counts outstanding work, like sync.WaitGroup but for Procs. The
+// harness uses it to wait for a fleet of client processes to drain.
+type Group struct {
+	sim     *Sim
+	count   int
+	waiters []*Proc
+}
+
+// NewGroup creates a Group bound to s.
+func NewGroup(s *Sim) *Group { return &Group{sim: s} }
+
+// Add increments the counter by n.
+func (g *Group) Add(n int) { g.count += n }
+
+// Count returns the current counter value.
+func (g *Group) Count() int { return g.count }
+
+// Done decrements the counter, waking all waiters when it reaches zero.
+func (g *Group) Done() {
+	g.count--
+	if g.count < 0 {
+		panic("simrt: Group counter went negative")
+	}
+	if g.count == 0 {
+		s := g.sim
+		ws := g.waiters
+		g.waiters = nil
+		for _, p := range ws {
+			p := p
+			s.schedule(s.now, func() { s.resume(p, wakeMsg{}) })
+		}
+	}
+}
+
+// Wait parks p until the counter reaches zero. Returns immediately if it is
+// already zero.
+func (g *Group) Wait(p *Proc) {
+	if g.count == 0 {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.park()
+}
+
+// Mutex is a simulated mutual-exclusion lock. Because the scheduler runs one
+// Proc at a time, a Mutex is only needed to protect invariants across
+// *blocking* calls (a critical section containing a Sleep, Recv, or disk
+// write). Lock parks the Proc if the mutex is held.
+type Mutex struct {
+	sim     *Sim
+	held    bool
+	waiters []*Proc
+}
+
+// NewMutex creates a Mutex bound to s.
+func NewMutex(s *Sim) *Mutex { return &Mutex{sim: s} }
+
+// Lock acquires the mutex, parking p until it is free.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.park()
+	// Ownership was transferred by Unlock before we were woken.
+}
+
+// TryLock acquires the mutex if free.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter if any.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("simrt: Unlock of unlocked Mutex")
+	}
+	if len(m.waiters) == 0 {
+		m.held = false
+		return
+	}
+	p := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	s := m.sim
+	s.schedule(s.now, func() { s.resume(p, wakeMsg{}) })
+}

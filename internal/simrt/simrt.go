@@ -1,0 +1,288 @@
+// Package simrt is a process-model discrete-event simulation runtime.
+//
+// It substitutes for the paper's 32-node cluster: every simulated entity (an
+// application process, a metadata-server request handler, a disk, a
+// commitment trigger daemon) is a real goroutine — a Proc — that blocks only
+// on simulated primitives: virtual Sleep, receive on a virtual Chan, waits on
+// a Group. A single scheduler runs exactly one Proc at a time and advances a
+// virtual clock between events, so:
+//
+//   - protocol code is ordinary blocking Go (no callback inversion), and
+//   - every run is fully deterministic for a given seed, because there is no
+//     true parallelism and event ties break by insertion order.
+//
+// The handshake: the scheduler pops the next event, resumes the target Proc
+// by sending on its wake channel, then blocks until that Proc either parks
+// (in a blocking primitive) or finishes. Shutdown kills all parked Procs by
+// waking them with a kill flag; blocking primitives then panic with an
+// internal sentinel that the Proc wrapper recovers, so no goroutines leak
+// across the thousands of simulations a test run performs.
+package simrt
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// errKilled is the sentinel panic value used to unwind a Proc's stack when
+// the simulation shuts down while the Proc is parked.
+type killedError struct{}
+
+func (killedError) Error() string { return "simrt: proc killed by Shutdown" }
+
+var errKilled = killedError{}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+type wakeMsg struct {
+	kill bool
+}
+
+// Sim is one simulation instance. It is not safe for concurrent use from
+// multiple OS threads except as documented: all API calls must come either
+// from the goroutine that calls Run, before/after Run, or from within a Proc
+// or scheduled event (which the scheduler serializes).
+type Sim struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	cur     *Proc
+	parkCh  chan struct{}
+	stopped bool
+	killed  bool
+	rng     *rand.Rand
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex // guards procs (touched from exiting proc goroutines)
+	procs map[*Proc]struct{}
+
+	// Stats counters maintained by the runtime for harness reporting.
+	eventsRun uint64
+}
+
+// New creates a simulation with the given random seed. The same seed yields
+// the same event trace.
+func New(seed int64) *Sim {
+	return &Sim{
+		parkCh: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's seeded random source. Use it for every
+// random decision inside the simulation to keep runs reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// EventsRun returns how many events the scheduler has dispatched.
+func (s *Sim) EventsRun() uint64 { return s.eventsRun }
+
+// schedule enqueues fn to run at absolute virtual time at.
+func (s *Sim) schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run in scheduler context d from now. fn must not
+// block; it may send on Chans, spawn Procs, and schedule further events.
+func (s *Sim) After(d time.Duration, fn func()) {
+	s.schedule(s.now+d, fn)
+}
+
+// Proc is one simulated process. All blocking primitives take the Proc so
+// the runtime knows which goroutine to park.
+type Proc struct {
+	sim  *Sim
+	name string
+	wake chan wakeMsg
+}
+
+// Name returns the Proc's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation the Proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Spawn starts fn as a new Proc scheduled to begin at the current virtual
+// time. It may be called before Run or from inside the simulation.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAfter(0, name, fn)
+}
+
+// SpawnAfter starts fn as a new Proc whose first instruction runs d after
+// the current virtual time.
+func (s *Sim) SpawnAfter(d time.Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, wake: make(chan wakeMsg)}
+	s.mu.Lock()
+	s.procs[p] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go p.main(fn)
+	s.schedule(s.now+d, func() { s.resume(p, wakeMsg{}) })
+	return p
+}
+
+// main is the Proc goroutine body: wait for first wake, run fn, and notify
+// the scheduler on exit.
+func (p *Proc) main(fn func(*Proc)) {
+	s := p.sim
+	defer s.wg.Done()
+	first := <-p.wake
+	if first.kill {
+		s.dropProc(p)
+		return
+	}
+	killed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedError); ok {
+					killed = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn(p)
+	}()
+	s.dropProc(p)
+	if !killed {
+		// Normal completion during a live run: hand control back to the
+		// scheduler exactly like a park.
+		s.parkCh <- struct{}{}
+	}
+}
+
+func (s *Sim) dropProc(p *Proc) {
+	s.mu.Lock()
+	delete(s.procs, p)
+	s.mu.Unlock()
+}
+
+// resume hands control to p and blocks until p parks or exits. Called only
+// from scheduler context.
+func (s *Sim) resume(p *Proc, m wakeMsg) {
+	prev := s.cur
+	s.cur = p
+	p.wake <- m
+	<-s.parkCh
+	s.cur = prev
+}
+
+// park blocks the calling Proc until resumed. Must be called from p's own
+// goroutine. Panics with the kill sentinel if the simulation is shutting
+// down.
+func (p *Proc) park() {
+	p.sim.parkCh <- struct{}{}
+	m := <-p.wake
+	if m.kill {
+		panic(errKilled)
+	}
+}
+
+// Sleep suspends the Proc for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	s.schedule(s.now+d, func() { s.resume(p, wakeMsg{}) })
+	p.park()
+}
+
+// Yield reschedules the Proc at the current virtual time, letting every
+// other runnable entity at this instant proceed first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run dispatches events until the queue is empty or Stop is called. It
+// returns the virtual time at which it stopped.
+func (s *Sim) Run() time.Duration {
+	return s.RunUntil(-1)
+}
+
+// RunUntil dispatches events until the queue is empty, Stop is called, or
+// the next event would run after the horizon (horizon < 0 means no limit).
+// It returns the current virtual time when it stops. Events exactly at the
+// horizon still run.
+func (s *Sim) RunUntil(horizon time.Duration) time.Duration {
+	for !s.stopped && s.events.Len() > 0 {
+		if horizon >= 0 && s.events.peek().at > horizon {
+			s.now = horizon
+			return s.now
+		}
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		s.eventsRun++
+		e.fn()
+	}
+	return s.now
+}
+
+// Stop makes Run return after the currently executing event completes. It
+// must be called from inside the simulation (a Proc or event function).
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// Rearm clears the Stop latch so Run can dispatch again — used by harnesses
+// that drive one simulation through several measured phases.
+func (s *Sim) Rearm() { s.stopped = false }
+
+// Shutdown kills every remaining Proc so their goroutines exit. Call it
+// after Run returns; the Sim must not be used afterwards.
+func (s *Sim) Shutdown() {
+	s.killed = true
+	s.mu.Lock()
+	live := make([]*Proc, 0, len(s.procs))
+	for p := range s.procs {
+		live = append(live, p)
+	}
+	s.mu.Unlock()
+	for _, p := range live {
+		p.wake <- wakeMsg{kill: true}
+	}
+	s.wg.Wait()
+}
+
+// String summarizes scheduler state for debugging.
+func (s *Sim) String() string {
+	return fmt.Sprintf("sim{t=%v events=%d dispatched=%d}", s.now, s.events.Len(), s.eventsRun)
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty != 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean=%v", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0=%v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("p100=%v", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("p50=%v", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileWithinRangeQuick(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		if len(xs) == 0 {
+			return Percentile(xs, p) == 0
+		}
+		v := Percentile(xs, p)
+		lo, hi := Percentile(xs, 0), Percentile(xs, 100)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if imp := Improvement(100*time.Second, 62*time.Second); imp < 0.379 || imp > 0.381 {
+		t.Errorf("improvement=%v, want 0.38", imp)
+	}
+	if Improvement(0, time.Second) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(100, 182); r < 0.819 || r > 0.821 {
+		t.Errorf("ratio=%v, want 0.82", r)
+	}
+	if Ratio(0, 5) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestSeriesPeakAndDrops(t *testing.T) {
+	s := &Series{}
+	// Rise to 600, drop, rise, drop — Figure 7b shaped.
+	vals := []float64{0, 100, 300, 600, 50, 200, 550, 40}
+	for i, v := range vals {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	if s.Peak() != 600 {
+		t.Errorf("peak=%v", s.Peak())
+	}
+	if d := s.Drops(0.5); d != 2 {
+		t.Errorf("drops=%d, want 2", d)
+	}
+	if d := s.Drops(0.95); d != 0 {
+		t.Errorf("drops(0.95)=%d, want 0", d)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "A", "BB")
+	tbl.Add("x", 1)
+	tbl.Add("long-cell", 2.5)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "long-cell") {
+		t.Errorf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Errorf("float formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.385) != "38.50%" {
+		t.Errorf("Pct=%s", Pct(0.385))
+	}
+	if KB(5<<10) != "5KB" {
+		t.Errorf("KB=%s", KB(5<<10))
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(nil) != 0 {
+		t.Error("Max(nil) != 0")
+	}
+	if Max([]float64{-5, -2, -9}) != -2 {
+		t.Error("Max of negatives wrong")
+	}
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("s3d")
+	tr := Generate(p, scaleFor(p, 2000), 9)
+	path := filepath.Join(t.TempDir(), "s3d.cxtr")
+	if err := tr.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Total != tr.Total || got.Dirs != tr.Dirs || got.Scale != tr.Scale {
+		t.Errorf("metadata mismatch: %+v vs %+v", got.Total, tr.Total)
+	}
+	if got.Profile.Name != "s3d" {
+		t.Errorf("profile=%s", got.Profile.Name)
+	}
+	if len(got.PerProc) != len(tr.PerProc) {
+		t.Fatalf("procs %d vs %d", len(got.PerProc), len(tr.PerProc))
+	}
+	for pi := range tr.PerProc {
+		if len(got.PerProc[pi]) != len(tr.PerProc[pi]) {
+			t.Fatalf("proc %d: %d vs %d records", pi, len(got.PerProc[pi]), len(tr.PerProc[pi]))
+		}
+		for i := range tr.PerProc[pi] {
+			if got.PerProc[pi][i] != tr.PerProc[pi][i] {
+				t.Fatalf("proc %d rec %d: %+v vs %+v", pi, i, got.PerProc[pi][i], tr.PerProc[pi][i])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	p, _ := ProfileByName("CTH")
+	tr := Generate(p, scaleFor(p, 500), 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.cxtr")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+
+	// Flip a byte in the middle: checksum must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0xFF
+	badPath := filepath.Join(dir, "bad.cxtr")
+	os.WriteFile(badPath, bad, 0o644)
+	if _, err := Load(badPath); err == nil {
+		t.Error("corrupted file loaded")
+	}
+
+	// Truncate: must fail cleanly.
+	os.WriteFile(badPath, raw[:len(raw)/3], 0o644)
+	if _, err := Load(badPath); err == nil {
+		t.Error("truncated file loaded")
+	}
+
+	// Wrong magic.
+	os.WriteFile(badPath, append([]byte("NOPE!"), raw[5:]...), 0o644)
+	if _, err := Load(badPath); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Missing file.
+	if _, err := Load(filepath.Join(dir, "absent.cxtr")); err == nil {
+		t.Error("absent file loaded")
+	}
+}
+
+func TestLoadedTraceReplaysIdentically(t *testing.T) {
+	p, _ := ProfileByName("CTH")
+	tr := Generate(p, scaleFor(p, 800), 3)
+	path := filepath.Join(t.TempDir(), "r.cxtr")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(tt *Trace) (int, uint64) {
+		c := testCluster("cx")
+		defer c.Shutdown()
+		res := (&Replayer{Trace: tt, C: c}).Run()
+		return res.Ops, res.Messages
+	}
+	ops1, msgs1 := run(tr)
+	ops2, msgs2 := run(loaded)
+	if ops1 != ops2 || msgs1 != msgs2 {
+		t.Errorf("replay diverged: (%d,%d) vs (%d,%d)", ops1, msgs1, ops2, msgs2)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("CTH")
+	tr := Generate(p, scaleFor(p, 1200), 4)
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != tr.Total || got.Dirs != tr.Dirs {
+		t.Errorf("meta: %d/%d vs %d/%d", got.Total, got.Dirs, tr.Total, tr.Dirs)
+	}
+	for pi := range tr.PerProc {
+		if len(got.PerProc[pi]) != len(tr.PerProc[pi]) {
+			t.Fatalf("proc %d length", pi)
+		}
+		for i := range tr.PerProc[pi] {
+			if got.PerProc[pi][i] != tr.PerProc[pi][i] {
+				t.Fatalf("proc %d rec %d: %+v vs %+v", pi, i, got.PerProc[pi][i], tr.PerProc[pi][i])
+			}
+		}
+	}
+}
+
+func TestParseTextHandWritten(t *testing.T) {
+	src := `#cxtrace v1 workload=CTH procs=64 dirs=2
+# a tiny hand-written workload
+0 create 0 0
+0 stat 0 0
+1 create 1 1
+# trailing comment
+0 remove 0 0
+`
+	tr, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 4 {
+		t.Errorf("total=%d", tr.Total)
+	}
+	if len(tr.PerProc[0]) != 3 || len(tr.PerProc[1]) != 1 {
+		t.Errorf("per-proc: %d/%d", len(tr.PerProc[0]), len(tr.PerProc[1]))
+	}
+	if tr.PerProc[0][2].Kind != RemoveOwn {
+		t.Errorf("kind=%v", tr.PerProc[0][2].Kind)
+	}
+	// And it replays.
+	c := testCluster("cx")
+	defer c.Shutdown()
+	res := (&Replayer{Trace: tr, C: c}).Run()
+	if res.HardErrors != 0 {
+		t.Errorf("hand-written trace replay: %d hard errors", res.HardErrors)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not a header\n0 create 0 0\n",
+		"#cxtrace v1 workload=NOPE procs=4 dirs=1\n",
+		"#cxtrace v1 workload=CTH procs=0 dirs=1\n",
+		"#cxtrace v1 workload=CTH procs=99 dirs=1\n", // profile mismatch
+		"#cxtrace v1 workload=CTH procs=64 dirs=1\n0 teleport 0 0\n",
+		"#cxtrace v1 workload=CTH procs=64 dirs=1\n99 create 0 0\n",
+		"#cxtrace v1 workload=CTH procs=64 dirs=1\nnot numbers here\n",
+	}
+	for i, src := range bad {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"cxfs/internal/cluster"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// Result summarizes one trace replay.
+type Result struct {
+	Workload   string
+	Protocol   cluster.Protocol
+	Ops        int
+	ReplayTime time.Duration // virtual time from first op to last completion
+	Errors     int           // tolerated races (shared read of a gone file)
+	HardErrors int           // anything else — must be zero
+	Messages   uint64
+	Bytes      int64
+	Conflicts  uint64 // Cx only: sub-ops blocked on active objects
+
+	// Resource deltas measured across the replay window only (setup and
+	// quiesce excluded), for the harness's breakdowns.
+	DiskBusy   time.Duration
+	DiskPasses uint64
+	WALAppends uint64
+	KVSyncs    uint64
+	KVFlushed  uint64
+}
+
+// ConflictRatio is conflicts over total operations (Table II's metric).
+func (r Result) ConflictRatio() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Conflicts) / float64(r.Ops)
+}
+
+// fileBinding maps a symbolic file to its runtime identity.
+type fileBinding struct {
+	dir  types.InodeID
+	name string
+	ino  types.InodeID
+}
+
+// Replayer drives one trace against one cluster.
+type Replayer struct {
+	Trace *Trace
+	C     *cluster.Cluster
+	// ExtraSharedReads injects additional shared lookups per op with the
+	// given probability — the Figure 8 conflict-ratio knob ("we injected
+	// some lookup requests to add some immediate commitments").
+	ExtraSharedReads float64
+
+	// KindLat, when non-nil, collects per-kind operation latencies for
+	// diagnostics and the harness's latency breakdowns.
+	KindLat map[Kind][]time.Duration
+	// Background procs are spawned alongside the workload — samplers for
+	// the Figure 7b valid-record series run here. They are killed when the
+	// simulation shuts down.
+	Background []func(p *simrt.Proc)
+
+	dirs   map[int]types.InodeID
+	files  map[int]fileBinding
+	recent []recentCreate // ring of the newest creations, for injection
+}
+
+// recentCreate remembers who created a file, so injected reads target
+// *other* processes' files (same-process access never conflicts).
+type recentCreate struct {
+	id   int
+	proc int
+}
+
+// fileName renders the stable name of a symbolic file.
+func fileName(id int) string { return fmt.Sprintf("f%08d", id) }
+
+// dirName renders the stable name of a symbolic directory.
+func dirName(id int) string { return fmt.Sprintf("dir%05d", id) }
+
+// Run replays the trace and returns its result. It must be called from
+// outside the simulation; it spawns the replay processes, runs the
+// simulation to completion, quiesces, and checks nothing leaked.
+func (r *Replayer) Run() Result {
+	t, c := r.Trace, r.C
+	if t.Profile.Procs > c.NumProcs() {
+		panic(fmt.Sprintf("trace: %s needs %d processes, cluster has %d",
+			t.Profile.Name, t.Profile.Procs, c.NumProcs()))
+	}
+	r.dirs = make(map[int]types.InodeID)
+	r.files = make(map[int]fileBinding)
+
+	res := Result{Workload: t.Profile.Name, Protocol: c.Opts.Protocol, Ops: t.Total}
+	// Static directories are those referenced before any MkdirOwn could
+	// create them: the first Profile.CommonDirs (+ one per proc when
+	// private), matching the generator's numbering.
+	static := t.Profile.CommonDirs
+	if t.Profile.PrivateDirPerProc {
+		static += t.Profile.Procs
+	}
+
+	var start, end time.Duration
+	var msgStart = c.Net.Stats()
+	snapshot := func() (busy time.Duration, passes, appends, syncs, flushed uint64) {
+		for _, b := range c.Bases {
+			ds := b.Disk.Stats()
+			busy += ds.BusyTime
+			passes += ds.MechOps
+			appends += b.WAL.Stats().Appends
+			syncs += b.KV.Stats().SyncWrites
+			flushed += b.KV.Stats().FlushPages
+		}
+		return
+	}
+	var busy0 time.Duration
+	var passes0, app0, sync0, flush0 uint64
+
+	g := simrt.NewGroup(c.Sim)
+	g.Add(t.Profile.Procs)
+
+	setup := simrt.NewChan[struct{}](c.Sim)
+	c.Sim.Spawn("replay/setup", func(p *simrt.Proc) {
+		pr := c.Proc(0)
+		for d := 0; d < static; d++ {
+			ino, err := pr.Mkdir(p, types.RootInode, dirName(d))
+			if err != nil {
+				panic(fmt.Sprintf("trace setup mkdir: %v", err))
+			}
+			r.dirs[d] = ino
+		}
+		c.Quiesce(p) // settle setup so it does not pollute measurements
+		start = p.Now()
+		msgStart = c.Net.Stats()
+		busy0, passes0, app0, sync0, flush0 = snapshot()
+		for i := 0; i < t.Profile.Procs; i++ {
+			setup.Send(struct{}{})
+		}
+	})
+
+	for pi := 0; pi < t.Profile.Procs; pi++ {
+		pi := pi
+		pr := c.Proc(pi)
+		c.Sim.Spawn(fmt.Sprintf("replay/p%d", pi), func(p *simrt.Proc) {
+			setup.Recv(p)
+			for _, rec := range t.PerProc[pi] {
+				opStart := p.Now()
+				r.playOne(p, pr, rec, &res)
+				if r.KindLat != nil {
+					r.KindLat[rec.Kind] = append(r.KindLat[rec.Kind], p.Now()-opStart)
+				}
+				if r.ExtraSharedReads > 0 {
+					// Deterministic per-op injection using the sim RNG.
+					if c.Sim.Rand().Float64() < r.ExtraSharedReads {
+						r.injectSharedRead(p, pr, pi, &res)
+					}
+				}
+			}
+			g.Done()
+		})
+	}
+	for i, bg := range r.Background {
+		c.Sim.Spawn(fmt.Sprintf("replay/bg%d", i), bg)
+	}
+	c.Sim.Spawn("replay/controller", func(p *simrt.Proc) {
+		g.Wait(p)
+		end = p.Now()
+		busy1, passes1, app1, sync1, flush1 := snapshot()
+		res.DiskBusy = busy1 - busy0
+		res.DiskPasses = passes1 - passes0
+		res.WALAppends = app1 - app0
+		res.KVSyncs = sync1 - sync0
+		res.KVFlushed = flush1 - flush0
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.Run()
+
+	res.ReplayTime = end - start
+	st := c.Net.Stats().Sub(msgStart)
+	res.Messages = st.Messages
+	res.Bytes = st.Bytes
+	for _, srv := range c.CxSrv {
+		res.Conflicts += srv.Stats().Conflicts
+	}
+	return res
+}
+
+// playOne issues one trace record.
+func (r *Replayer) playOne(p *simrt.Proc, pr *cluster.Process, rec Rec, res *Result) {
+	dir, ok := r.dirs[rec.Dir]
+	if !ok {
+		res.Errors++ // directory never materialized (tolerated slip)
+		return
+	}
+	var err error
+	switch rec.Kind {
+	case CreateOwn:
+		var ino types.InodeID
+		ino, err = pr.Create(p, dir, fileName(rec.File))
+		if err == nil {
+			r.files[rec.File] = fileBinding{dir: dir, name: fileName(rec.File), ino: ino}
+			r.recent = append(r.recent, recentCreate{id: rec.File, proc: rec.Proc})
+			if len(r.recent) > 64 {
+				r.recent = r.recent[1:]
+			}
+		}
+	case RemoveOwn:
+		if fb, have := r.files[rec.File]; have {
+			err = pr.Remove(p, fb.dir, fb.name, fb.ino)
+			delete(r.files, rec.File)
+		}
+	case MkdirOwn:
+		var ino types.InodeID
+		ino, err = pr.Mkdir(p, dir, dirName(rec.File))
+		if err == nil {
+			r.dirs[rec.File] = ino
+		}
+	case RmdirOwn:
+		if ino, have := r.dirs[rec.File]; have {
+			err = pr.Rmdir(p, dir, dirName(rec.File), ino)
+			delete(r.dirs, rec.File)
+		}
+	case LinkOwn:
+		if fb, have := r.files[rec.File]; have {
+			err = pr.Link(p, fb.dir, fb.name+".ln", fb.ino)
+		}
+	case UnlinkOwn:
+		if fb, have := r.files[rec.File]; have {
+			err = pr.Unlink(p, fb.dir, fb.name+".ln", fb.ino)
+		}
+	case StatOwn, SetAttrOwn:
+		if fb, have := r.files[rec.File]; have {
+			if rec.Kind == StatOwn {
+				_, err = pr.Stat(p, fb.ino)
+			} else {
+				err = pr.SetAttr(p, fb.ino)
+			}
+		}
+	case LookupOwn:
+		if fb, have := r.files[rec.File]; have {
+			_, err = pr.Lookup(p, fb.dir, fb.name)
+		}
+	case StatShared:
+		if fb, have := r.files[rec.File]; have {
+			if _, e := pr.Stat(p, fb.ino); e != nil {
+				res.Errors++ // the owner may have removed it; tolerated
+			}
+		}
+		return
+	case LookupShared:
+		if fb, have := r.files[rec.File]; have {
+			if _, e := pr.Lookup(p, fb.dir, fb.name); e != nil {
+				res.Errors++
+			}
+		}
+		return
+	}
+	if err != nil {
+		res.HardErrors++
+	}
+}
+
+// injectSharedRead issues one extra stat of another process's most recent
+// file — the Figure 8 conflict injector ("we injected some lookup requests
+// to add some immediate commitments").
+func (r *Replayer) injectSharedRead(p *simrt.Proc, pr *cluster.Process, self int, res *Result) {
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		rc := r.recent[i]
+		if rc.proc == self {
+			continue
+		}
+		fb, ok := r.files[rc.id]
+		if !ok {
+			continue
+		}
+		if _, err := pr.Stat(p, fb.ino); err != nil {
+			res.Errors++
+		}
+		res.Ops++
+		return
+	}
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cxfs/internal/wire"
+)
+
+// Real-network transport for the wire codec: the same frames the simulated
+// network accounts for, written to actual TCP sockets. The simulation
+// remains the substrate for all protocol experiments (virtual time cannot
+// span real sockets); this transport is the deployment-facing half — it is
+// what a non-simulated metadata service would speak, and the tests prove
+// the codec round-trips over real connections with partial reads, large
+// batches, and concurrent senders.
+
+// MsgConn frames wire messages over a byte stream. Safe for one concurrent
+// reader and one concurrent writer; WriteMsg serializes multiple writers.
+type MsgConn struct {
+	conn io.ReadWriteCloser
+	r    *bufio.Reader
+	wmu  sync.Mutex
+	w    *bufio.Writer
+}
+
+// NewMsgConn wraps a stream (normally a *net.TCPConn).
+func NewMsgConn(c io.ReadWriteCloser) *MsgConn {
+	return &MsgConn{conn: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
+}
+
+// WriteMsg encodes and sends one message, flushing the frame.
+func (mc *MsgConn) WriteMsg(m *wire.Msg) error {
+	buf := wire.Encode(m)
+	mc.wmu.Lock()
+	defer mc.wmu.Unlock()
+	if _, err := mc.w.Write(buf); err != nil {
+		return fmt.Errorf("transport: write: %w", err)
+	}
+	return mc.w.Flush()
+}
+
+// maxFrame bounds a frame so a corrupt length prefix cannot allocate
+// unboundedly (CE migrations are the largest legitimate payloads).
+const maxFrame = 16 << 20
+
+// ReadMsg reads and decodes one message.
+func (mc *MsgConn) ReadMsg() (wire.Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(mc.r, hdr[:]); err != nil {
+		return wire.Msg{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return wire.Msg{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, 4+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(mc.r, buf[4:]); err != nil {
+		return wire.Msg{}, fmt.Errorf("transport: short frame: %w", err)
+	}
+	return wire.Decode(buf)
+}
+
+// Close closes the underlying stream.
+func (mc *MsgConn) Close() error { return mc.conn.Close() }
+
+// MsgHandler processes one inbound message and may return a reply to send
+// back on the same connection (nil = no reply).
+type MsgHandler func(m wire.Msg) *wire.Msg
+
+// MsgServer accepts connections and dispatches frames to a handler — the
+// skeleton a real (non-simulated) metadata server would hang its protocol
+// logic on.
+type MsgServer struct {
+	ln      net.Listener
+	handler MsgHandler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*MsgConn]struct{}
+}
+
+// ListenMsg starts a message server on addr (e.g. "127.0.0.1:0").
+func ListenMsg(addr string, h MsgHandler) (*MsgServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &MsgServer{ln: ln, handler: h, conns: make(map[*MsgConn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *MsgServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *MsgServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		mc := NewMsgConn(c)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			mc.Close()
+			return
+		}
+		s.conns[mc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(mc)
+	}
+}
+
+func (s *MsgServer) serve(mc *MsgConn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, mc)
+		s.mu.Unlock()
+		mc.Close()
+	}()
+	for {
+		m, err := mc.ReadMsg()
+		if err != nil {
+			return
+		}
+		if reply := s.handler(m); reply != nil {
+			if err := mc.WriteMsg(reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for the
+// handler goroutines to drain.
+func (s *MsgServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*MsgConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// DialMsg connects to a message server.
+func DialMsg(addr string) (*MsgConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	return NewMsgConn(c), nil
+}

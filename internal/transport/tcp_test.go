@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"cxfs/internal/types"
+	"cxfs/internal/wire"
+)
+
+func TestMsgConnRoundTripOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewMsgConn(a), NewMsgConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	sent := wire.Msg{
+		Type: wire.MsgSubOpReq, From: 100, To: 2,
+		Op:  types.OpID{Proc: types.ProcID{Client: 100, Index: 3}, Seq: 42},
+		Sub: types.SubOp{Kind: types.OpCreate, Action: types.ActInsertEntry, Parent: 1, Name: "over-the-wire", Ino: 77},
+	}
+	done := make(chan error, 1)
+	go func() { done <- ca.WriteMsg(&sent) }()
+	got, err := cb.ReadMsg()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got.Op != sent.Op || got.Sub.Name != sent.Sub.Name || got.Type != sent.Type {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestMsgServerEcho(t *testing.T) {
+	srv, err := ListenMsg("127.0.0.1:0", func(m wire.Msg) *wire.Msg {
+		reply := wire.Msg{Type: wire.MsgOpResp, Op: m.Op, OK: true, Err: "echo:" + m.Err}
+		return &reply
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := DialMsg(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 20; i++ {
+		m := wire.Msg{Type: wire.MsgOpReq, Op: types.OpID{Seq: uint64(i)}, Err: fmt.Sprintf("m%d", i)}
+		if err := conn.WriteMsg(&m); err != nil {
+			t.Fatal(err)
+		}
+		r, err := conn.ReadMsg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Op.Seq != uint64(i) || r.Err != fmt.Sprintf("echo:m%d", i) {
+			t.Errorf("reply %d: %+v", i, r)
+		}
+	}
+}
+
+func TestMsgServerConcurrentClients(t *testing.T) {
+	srv, err := ListenMsg("127.0.0.1:0", func(m wire.Msg) *wire.Msg {
+		reply := wire.Msg{Type: wire.MsgOpResp, Op: m.Op, OK: true}
+		return &reply
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := DialMsg(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 50; i++ {
+				seq := uint64(c*1000 + i)
+				if err := conn.WriteMsg(&wire.Msg{Type: wire.MsgOpReq, Op: types.OpID{Seq: seq}}); err != nil {
+					errs <- err
+					return
+				}
+				r, err := conn.ReadMsg()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r.Op.Seq != seq {
+					errs <- fmt.Errorf("client %d: got seq %d want %d", c, r.Op.Seq, seq)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestMsgConnLargePayload(t *testing.T) {
+	srv, err := ListenMsg("127.0.0.1:0", func(m wire.Msg) *wire.Msg {
+		reply := wire.Msg{Type: wire.MsgMigrateAck, Op: m.Op, OK: true, Epoch: uint32(len(m.Rows))}
+		return &reply
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialMsg(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rows := make([]wire.Row, 500)
+	for i := range rows {
+		rows[i] = wire.Row{Key: fmt.Sprintf("k%04d", i), Val: make([]byte, 2048)}
+	}
+	if err := conn.WriteMsg(&wire.Msg{Type: wire.MsgMigrateResp, Op: types.OpID{Seq: 1}, Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := conn.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch != 500 {
+		t.Errorf("server saw %d rows, want 500", r.Epoch)
+	}
+}
+
+func TestReadMsgRejectsOversizedFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	mc := NewMsgConn(b)
+	defer mc.Close()
+	go a.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // 2GB frame header
+	if _, err := mc.ReadMsg(); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestMsgServerCloseUnblocksClients(t *testing.T) {
+	srv, err := ListenMsg("127.0.0.1:0", func(m wire.Msg) *wire.Msg { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := DialMsg(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := conn.ReadMsg()
+		readDone <- err
+	}()
+	srv.Close()
+	if err := <-readDone; err == nil {
+		t.Error("read returned nil error after server close")
+	}
+}

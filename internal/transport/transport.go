@@ -1,0 +1,133 @@
+// Package transport delivers wire messages between simulated nodes,
+// substituting for the paper's 10GigE network and Catalyst switches.
+//
+// Net charges each message a fixed one-way latency plus size/bandwidth
+// transfer time, then deposits it in the destination node's inbox. It also
+// keeps the per-message-type counters behind Table IV of the paper (message
+// overhead of OFS-Cx vs OFS): the harness snapshots Stats before and after a
+// trace replay.
+//
+// Delivery preserves per-sender-pair FIFO order (all messages see the same
+// latency function, and simultaneous deliveries dispatch in send order),
+// which the Cx disordered-conflict machinery does NOT rely on across
+// *different* senders: two processes' sub-ops may arrive at the two servers
+// in opposite orders, which is exactly the disordered case of §III.C.
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wire"
+)
+
+// Params is the network cost model.
+type Params struct {
+	// Latency is the one-way propagation plus switching delay.
+	Latency time.Duration
+	// Bandwidth is the per-link bandwidth in bytes/second.
+	Bandwidth int64
+	// CPUOverhead is the per-message sender-side processing charge; the
+	// receiver pays its own service time in the server loop.
+	CPUOverhead time.Duration
+}
+
+// DefaultParams models the paper's 10GigE fabric.
+func DefaultParams() Params {
+	return Params{
+		Latency:     60 * time.Microsecond,
+		Bandwidth:   1250 << 20, // 10 Gb/s ≈ 1.25 GB/s
+		CPUOverhead: 5 * time.Microsecond,
+	}
+}
+
+// Stats counts traffic. Indexing by message type feeds Table IV.
+type Stats struct {
+	Messages uint64
+	Bytes    int64
+	ByType   [wire.NumMsgTypes]uint64
+}
+
+// Total returns the total message count (convenience for Table IV).
+func (s Stats) Total() uint64 { return s.Messages }
+
+// Sub returns s minus earlier, for before/after snapshots.
+func (s Stats) Sub(earlier Stats) Stats {
+	out := Stats{Messages: s.Messages - earlier.Messages, Bytes: s.Bytes - earlier.Bytes}
+	for i := range s.ByType {
+		out.ByType[i] = s.ByType[i] - earlier.ByType[i]
+	}
+	return out
+}
+
+// Net is the simulated network.
+type Net struct {
+	sim    *simrt.Sim
+	params Params
+	boxes  map[types.NodeID]*simrt.Chan[wire.Msg]
+	down   map[types.NodeID]bool
+	stats  Stats
+	tap    func(wire.Msg)
+}
+
+// SetTap installs an observer invoked (synchronously, in simulation
+// context) for every message sent — the message-sequence fidelity tests
+// use it to assert the exact communication patterns of the paper's
+// Figures 1 and 2. Pass nil to remove.
+func (n *Net) SetTap(fn func(wire.Msg)) { n.tap = fn }
+
+// New creates a network on s.
+func New(s *simrt.Sim, p Params) *Net {
+	return &Net{sim: s, params: p, boxes: make(map[types.NodeID]*simrt.Chan[wire.Msg]), down: make(map[types.NodeID]bool)}
+}
+
+// Register creates (or returns) the inbox for node. Servers and client
+// hosts each own one inbox and service it from their own Procs.
+func (n *Net) Register(node types.NodeID) *simrt.Chan[wire.Msg] {
+	if b, ok := n.boxes[node]; ok {
+		return b
+	}
+	b := simrt.NewChan[wire.Msg](n.sim)
+	n.boxes[node] = b
+	return b
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// SetDown marks a node crashed (true) or rebooted (false). Messages to a
+// down node are dropped, as on a real network; senders discover the crash
+// by timeout.
+func (n *Net) SetDown(node types.NodeID, down bool) { n.down[node] = down }
+
+// Down reports whether a node is marked crashed.
+func (n *Net) Down(node types.NodeID) bool { return n.down[node] }
+
+// Send transmits msg to msg.To after the modeled delay. It must be called
+// from inside the simulation. The sender's Proc is not blocked (the NIC
+// DMA's asynchronously); the CPU overhead is charged as added latency.
+func (n *Net) Send(msg wire.Msg) {
+	box, ok := n.boxes[msg.To]
+	if !ok {
+		panic(fmt.Sprintf("transport: send to unregistered node %v", msg.To))
+	}
+	n.stats.Messages++
+	if n.tap != nil {
+		n.tap(msg)
+	}
+	size := wire.Size(&msg)
+	n.stats.Bytes += size
+	if int(msg.Type) < len(n.stats.ByType) {
+		n.stats.ByType[msg.Type]++
+	}
+	delay := n.params.CPUOverhead + n.params.Latency +
+		time.Duration(size*int64(time.Second)/n.params.Bandwidth)
+	n.sim.After(delay, func() {
+		if n.down[msg.To] {
+			return // dropped at the dead NIC
+		}
+		box.Send(msg)
+	})
+}

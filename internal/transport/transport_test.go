@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wire"
+)
+
+func TestSendDeliversAfterModelDelay(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	box := n.Register(1)
+	n.Register(0)
+	var at time.Duration
+	s.Spawn("recv", func(p *simrt.Proc) {
+		box.Recv(p)
+		at = p.Now()
+		s.Stop()
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+	})
+	s.Run()
+	s.Shutdown()
+	m := wire.Msg{Type: wire.MsgAck, From: 0, To: 1}
+	pp := DefaultParams()
+	want := pp.CPUOverhead + pp.Latency + time.Duration(wire.Size(&m)*int64(time.Second)/pp.Bandwidth)
+	if at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestFIFOBetweenPair(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	box := n.Register(1)
+	n.Register(0)
+	var seqs []uint64
+	s.Spawn("recv", func(p *simrt.Proc) {
+		for i := 0; i < 10; i++ {
+			m := box.Recv(p)
+			seqs = append(seqs, m.Op.Seq)
+		}
+		s.Stop()
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		for i := 0; i < 10; i++ {
+			n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1, Op: types.OpID{Seq: uint64(i)}})
+		}
+	})
+	s.Run()
+	s.Shutdown()
+	for i, v := range seqs {
+		if v != uint64(i) {
+			t.Fatalf("out of order: %v", seqs)
+		}
+	}
+}
+
+func TestStatsCountByType(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	n.Register(0)
+	n.Register(1)
+	s.Spawn("send", func(p *simrt.Proc) {
+		n.Send(wire.Msg{Type: wire.MsgVote, From: 0, To: 1})
+		n.Send(wire.Msg{Type: wire.MsgVote, From: 0, To: 1})
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 1, To: 0})
+	})
+	s.Run()
+	s.Shutdown()
+	st := n.Stats()
+	if st.Messages != 3 || st.ByType[wire.MsgVote] != 2 || st.ByType[wire.MsgAck] != 1 {
+		t.Errorf("stats=%+v", st)
+	}
+	if st.Bytes == 0 {
+		t.Error("no bytes counted")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Messages: 10, Bytes: 100}
+	a.ByType[wire.MsgVote] = 4
+	b := Stats{Messages: 3, Bytes: 30}
+	b.ByType[wire.MsgVote] = 1
+	d := a.Sub(b)
+	if d.Messages != 7 || d.Bytes != 70 || d.ByType[wire.MsgVote] != 3 {
+		t.Errorf("diff=%+v", d)
+	}
+}
+
+func TestDownNodeDropsMessages(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	box := n.Register(1)
+	n.Register(0)
+	got := 0
+	s.Spawn("recv", func(p *simrt.Proc) {
+		for {
+			if _, ok := box.RecvTimeout(p, time.Second); !ok {
+				s.Stop()
+				return
+			}
+			got++
+		}
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		n.SetDown(1, true)
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+		p.Sleep(10 * time.Millisecond)
+		n.SetDown(1, false)
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+	})
+	s.Run()
+	s.Shutdown()
+	if got != 1 {
+		t.Errorf("delivered %d messages, want 1 (first dropped)", got)
+	}
+}
+
+func TestSendToUnregisteredPanics(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	n.Register(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+		s.Shutdown()
+	}()
+	n.Send(wire.Msg{From: 0, To: 99})
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	a := n.Register(5)
+	b := n.Register(5)
+	if a != b {
+		t.Error("Register returned different inboxes for the same node")
+	}
+	s.Shutdown()
+}
+
+func TestBigMessagePaysTransferTime(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	box := n.Register(1)
+	n.Register(0)
+	var small, big time.Duration
+	s.Spawn("recv", func(p *simrt.Proc) {
+		start := p.Now()
+		box.Recv(p)
+		small = p.Now() - start
+		start = p.Now()
+		box.Recv(p)
+		big = p.Now() - start
+		s.Stop()
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+		p.Sleep(time.Second)
+		rows := []wire.Row{{Key: "k", Val: make([]byte, 10<<20)}}
+		n.Send(wire.Msg{Type: wire.MsgMigrateResp, From: 0, To: 1, Rows: rows})
+	})
+	s.Run()
+	s.Shutdown()
+	if big <= small {
+		t.Errorf("10MB message (%v) not slower than small (%v)", big, small)
+	}
+}

@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"cxfs/internal/types"
+)
+
+// Log record wire format (little endian):
+//
+//	u16  total length (excluding this field)
+//	u8   record type
+//	u8   role
+//	u8   flags (bit0 = OK, bit1 = has-peer)
+//	i32  op client
+//	i32  op proc index
+//	u64  op seq
+//	i32  peer node (when has-peer)
+//	-- Result records only --
+//	u8   sub action
+//	u8   sub op kind
+//	u64  parent inode
+//	u64  target inode
+//	u8   file type
+//	u16  name length, then name bytes
+//	u8   before-image count, then images (u16 key len, key, u32 val len+1, val)
+//	u8   after-image count, then images
+//	-- all records --
+//	u32  FNV-1a checksum of everything after the length field
+//
+// The sizes matter twice: they are the disk-write sizes that the cost model
+// charges, and they are the paper's "valid-records size" unit (Figure 7b,
+// Table V).
+
+const (
+	headerSize   = 2 + 1 + 1 + 1 + 4 + 4 + 8
+	resultFixed  = 1 + 1 + 8 + 8 + 1 + 2
+	checksumSize = 4
+)
+
+// encodedSize returns the full on-disk size of rec.
+func encodedSize(rec *Record) int64 {
+	n := headerSize + checksumSize
+	if rec.HasPeer {
+		n += 4
+	}
+	if rec.Type == RecResult {
+		n += resultFixed + len(rec.Sub.Name)
+		n += 2 // image counts
+		for _, img := range rec.Before {
+			n += 2 + len(img.Key) + 4 + len(img.Val)
+		}
+		for _, img := range rec.After {
+			n += 2 + len(img.Key) + 4 + len(img.Val)
+		}
+	}
+	return int64(n)
+}
+
+// putImages appends an image list: count byte, then per image a u16 key
+// length, the key, a u32 value length+1 (0 encodes the nil/absent image),
+// and the value bytes.
+func putImages(buf []byte, imgs []types.RowImage) []byte {
+	buf = append(buf, byte(len(imgs)))
+	for _, img := range imgs {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(img.Key)))
+		buf = append(buf, img.Key...)
+		if img.Val == nil {
+			buf = binary.LittleEndian.AppendUint32(buf, 0)
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img.Val))+1)
+		buf = append(buf, img.Val...)
+	}
+	return buf
+}
+
+// takeImages parses an image list written by putImages.
+func takeImages(buf []byte, pos int) ([]types.RowImage, int, error) {
+	if pos >= len(buf) {
+		return nil, pos, fmt.Errorf("wal: image count truncated")
+	}
+	n := int(buf[pos])
+	pos++
+	if n == 0 {
+		return nil, pos, nil
+	}
+	imgs := make([]types.RowImage, 0, n)
+	for i := 0; i < n; i++ {
+		if pos+2 > len(buf) {
+			return nil, pos, fmt.Errorf("wal: image key length truncated")
+		}
+		kl := int(binary.LittleEndian.Uint16(buf[pos:]))
+		pos += 2
+		if pos+kl+4 > len(buf) {
+			return nil, pos, fmt.Errorf("wal: image key truncated")
+		}
+		key := string(buf[pos : pos+kl])
+		pos += kl
+		vl := int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+		var val []byte
+		if vl > 0 {
+			vl--
+			if pos+vl > len(buf) {
+				return nil, pos, fmt.Errorf("wal: image value truncated")
+			}
+			val = make([]byte, vl)
+			copy(val, buf[pos:pos+vl])
+			pos += vl
+		}
+		imgs = append(imgs, types.RowImage{Key: key, Val: val})
+	}
+	return imgs, pos, nil
+}
+
+// encode serializes rec.
+func encode(rec *Record) []byte {
+	size := encodedSize(rec)
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(size-2))
+	buf = append(buf, byte(rec.Type), byte(rec.Role))
+	var flags byte
+	if rec.OK {
+		flags |= 1
+	}
+	if rec.HasPeer {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Op.Proc.Client))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Op.Proc.Index))
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Op.Seq)
+	if rec.HasPeer {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Peer))
+	}
+	if rec.Type == RecResult {
+		buf = append(buf, byte(rec.Sub.Action), byte(rec.Sub.Kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Sub.Parent))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Sub.Ino))
+		buf = append(buf, byte(rec.Sub.Type))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Sub.Name)))
+		buf = append(buf, rec.Sub.Name...)
+		buf = putImages(buf, rec.Before)
+		buf = putImages(buf, rec.After)
+	}
+	h := fnv.New32a()
+	h.Write(buf[2:])
+	buf = binary.LittleEndian.AppendUint32(buf, h.Sum32())
+	return buf
+}
+
+// decode parses one record, verifying length and checksum.
+func decode(buf []byte) (Record, error) {
+	var rec Record
+	if len(buf) < headerSize+checksumSize {
+		return rec, fmt.Errorf("wal: record too short (%d bytes)", len(buf))
+	}
+	total := int(binary.LittleEndian.Uint16(buf[0:2])) + 2
+	if total != len(buf) {
+		return rec, fmt.Errorf("wal: length mismatch: header says %d, have %d", total, len(buf))
+	}
+	body := buf[2 : len(buf)-checksumSize]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-checksumSize:])
+	h := fnv.New32a()
+	h.Write(body)
+	if h.Sum32() != want {
+		return rec, fmt.Errorf("wal: checksum mismatch")
+	}
+	rec.Type = RecType(buf[2])
+	rec.Role = types.Role(buf[3])
+	rec.OK = buf[4]&1 != 0
+	rec.HasPeer = buf[4]&2 != 0
+	rec.Op.Proc.Client = types.NodeID(binary.LittleEndian.Uint32(buf[5:9]))
+	rec.Op.Proc.Index = int32(binary.LittleEndian.Uint32(buf[9:13]))
+	rec.Op.Seq = binary.LittleEndian.Uint64(buf[13:21])
+	p := 21
+	if rec.HasPeer {
+		if len(buf) < p+4+checksumSize {
+			return rec, fmt.Errorf("wal: peer truncated")
+		}
+		rec.Peer = types.NodeID(binary.LittleEndian.Uint32(buf[p : p+4]))
+		p += 4
+	}
+	if rec.Type == RecResult {
+		if len(buf) < p+resultFixed+checksumSize {
+			return rec, fmt.Errorf("wal: result record truncated")
+		}
+		rec.Sub.Action = types.SubOpAction(buf[p])
+		rec.Sub.Kind = types.OpKind(buf[p+1])
+		rec.Sub.Parent = types.InodeID(binary.LittleEndian.Uint64(buf[p+2 : p+10]))
+		rec.Sub.Ino = types.InodeID(binary.LittleEndian.Uint64(buf[p+10 : p+18]))
+		rec.Sub.Type = types.FileType(buf[p+18])
+		nameLen := int(binary.LittleEndian.Uint16(buf[p+19 : p+21]))
+		nameStart := p + 21
+		if len(buf) < nameStart+nameLen+checksumSize {
+			return rec, fmt.Errorf("wal: name truncated")
+		}
+		rec.Sub.Name = string(buf[nameStart : nameStart+nameLen])
+		rec.Sub.Op = rec.Op
+		rec.Sub.Role = rec.Role
+		pos := nameStart + nameLen
+		var err error
+		if rec.Before, pos, err = takeImages(buf, pos); err != nil {
+			return rec, err
+		}
+		if rec.After, pos, err = takeImages(buf, pos); err != nil {
+			return rec, err
+		}
+		if pos != len(buf)-checksumSize {
+			return rec, fmt.Errorf("wal: %d stray bytes before checksum", len(buf)-checksumSize-pos)
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,359 @@
+// Package wal implements each metadata server's operation log for the Cx
+// protocol and its baselines: a log-structured, synchronously written record
+// stream with an in-memory index, as described in §III.A and §III.D of the
+// paper.
+//
+// Record types follow the paper exactly:
+//
+//   - Result-Record: the outcome of one sub-operation on this server, with
+//     enough of the sub-op to resume a commitment after a crash.
+//   - Commit-Record / Abort-Record: the whole cross-server operation's
+//     executions succeeded / were rolled back. On the participant this also
+//     marks the operation finished.
+//   - Complete-Record: coordinator only — the whole operation is finished.
+//   - Invalidate-Record: a previously logged Result-Record was invalidated
+//     during disordered-conflict handling (§III.C).
+//
+// Appends are synchronous: the calling Proc parks until the disk confirms
+// the sequential write. Batched appends serialize several records into one
+// disk request, which is where lazy commitment wins back log bandwidth.
+//
+// When the log reaches its upper limit, appends block until pruning frees
+// space (§III.D: "a server must block the new-arrival sub-op requests and
+// perform pruning"); a registered full-handler lets the protocol launch the
+// commitments that make pruning possible. Pruning drops all records of an
+// operation once its terminal record is durable.
+package wal
+
+import (
+	"fmt"
+	"time"
+
+	"cxfs/internal/disk"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// RecType enumerates log record types.
+type RecType uint8
+
+const (
+	RecInvalid RecType = iota
+	RecResult
+	RecCommit
+	RecAbort
+	RecComplete
+	RecInvalidate
+)
+
+var recTypeNames = [...]string{
+	RecInvalid:    "invalid",
+	RecResult:     "result",
+	RecCommit:     "commit",
+	RecAbort:      "abort",
+	RecComplete:   "complete",
+	RecInvalidate: "invalidate",
+}
+
+// String renders a RecType.
+func (t RecType) String() string {
+	if int(t) < len(recTypeNames) {
+		return recTypeNames[t]
+	}
+	return fmt.Sprintf("rectype(%d)", uint8(t))
+}
+
+// Record is one log record. Only Result records carry a sub-op payload and
+// row images; the images let recovery redo a committed operation (install
+// After) or undo an aborted one (install Before) idempotently.
+type Record struct {
+	Type   RecType
+	Op     types.OpID
+	Role   types.Role
+	OK     bool             // Result: whether the sub-op succeeded
+	Sub    types.SubOp      // Result: the sub-op, for crash resumption
+	Before []types.RowImage // Result: primary-row images pre-execution
+	After  []types.RowImage // Result: primary-row images post-execution
+	// Peer is the other server of the operation (participant on the
+	// coordinator's records and vice versa), so recovery resumes the
+	// commitment with the right node without re-deriving placement —
+	// which is impossible for rename, whose destination entry server is
+	// not a function of the recorded sub-op.
+	Peer    types.NodeID
+	HasPeer bool
+}
+
+// String renders a Record compactly.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %s %s ok=%v", r.Type, r.Op, r.Role, r.OK)
+}
+
+// opEntry is the per-operation index entry.
+type opEntry struct {
+	bytes    int64 // live bytes this op holds in the log
+	types    uint8 // bitmask of record types present
+	invalids int   // count of invalidate records
+}
+
+func bit(t RecType) uint8 { return 1 << uint(t) }
+
+// fullWaiter is an appender blocked on log space.
+type fullWaiter struct {
+	need int64
+	ch   *simrt.Chan[struct{}]
+}
+
+// Stats aggregates WAL activity.
+type Stats struct {
+	Appends      uint64 // disk write operations (batches count once)
+	Records      uint64 // records appended
+	BytesWritten int64
+	Pruned       uint64 // records removed by pruning
+	FullStalls   uint64 // times an append had to wait for space
+}
+
+// WAL is one server's operation log.
+type WAL struct {
+	sim  *simrt.Sim
+	dsk  *disk.Disk
+	base int64 // disk offset of the log region
+	max  int64 // upper limit on live bytes (0 = unlimited)
+
+	head    int64 // next append offset relative to base
+	live    int64 // bytes of un-pruned records
+	index   map[types.OpID]*opEntry
+	ordered []Record // durable records in append order, minus pruned ops
+
+	waiters     []fullWaiter
+	fullHandler func()
+	crashed     bool
+
+	stats Stats
+}
+
+// New creates a WAL writing sequentially at disk offset base. maxBytes
+// limits live (un-pruned) record bytes; 0 means unlimited.
+func New(s *simrt.Sim, d *disk.Disk, base, maxBytes int64) *WAL {
+	return &WAL{sim: s, dsk: d, base: base, max: maxBytes, index: make(map[types.OpID]*opEntry)}
+}
+
+// SetFullHandler registers fn to be invoked (in simulation context, without
+// blocking) whenever an append must wait for space. The Cx core uses it to
+// kick an immediate batch commitment so pruning can proceed.
+func (w *WAL) SetFullHandler(fn func()) { w.fullHandler = fn }
+
+// Stats returns a snapshot of accumulated statistics.
+func (w *WAL) Stats() Stats { return w.stats }
+
+// LiveBytes returns the bytes held by un-pruned records — the paper's
+// "valid-records size" when the caller prunes eagerly after commitment.
+func (w *WAL) LiveBytes() int64 { return w.live }
+
+// OpBytes returns the live bytes attributed to one operation.
+func (w *WAL) OpBytes(op types.OpID) int64 {
+	if e := w.index[op]; e != nil {
+		return e.bytes
+	}
+	return 0
+}
+
+// Has reports whether the log holds a record of type t for op.
+func (w *WAL) Has(op types.OpID, t RecType) bool {
+	e := w.index[op]
+	return e != nil && e.types&bit(t) != 0
+}
+
+// Append synchronously writes one record, blocking until durable. If the
+// log is at its limit the call stalls until pruning frees space.
+func (w *WAL) Append(p *simrt.Proc, rec Record) {
+	w.AppendBatch(p, []Record{rec})
+}
+
+// AppendBatch synchronously writes several records as one sequential disk
+// request — the batched commitment path. Appends on a crashed log are
+// silently discarded: the in-flight handler that issued them died with the
+// server and its records must not appear durable.
+func (w *WAL) AppendBatch(p *simrt.Proc, recs []Record) {
+	w.appendBatch(p, recs, false)
+}
+
+// AppendBatchPriority is AppendBatch without the log-size gate. Commitment
+// and recovery records use it: they are the very records whose durability
+// lets pruning free space, so blocking them on a full log would deadlock.
+// Only new-arrival sub-op requests are subject to the limit, per §III.D
+// ("a server must block the new-arrival sub-op requests").
+func (w *WAL) AppendBatchPriority(p *simrt.Proc, recs []Record) {
+	w.appendBatch(p, recs, true)
+}
+
+func (w *WAL) appendBatch(p *simrt.Proc, recs []Record, priority bool) {
+	if len(recs) == 0 || w.crashed {
+		return
+	}
+	var total int64
+	for i := range recs {
+		total += encodedSize(&recs[i])
+	}
+	if !priority {
+		w.waitForSpace(p, total)
+		if w.crashed {
+			return
+		}
+	}
+	// Reserve the offset range before blocking on the disk so concurrent
+	// appenders write disjoint, in-order regions.
+	off := w.head
+	w.head += total
+	w.dsk.Access(p, w.base+off, total, true)
+	if w.crashed {
+		return // crashed while the write was in flight: not durable
+	}
+	for i := range recs {
+		w.admit(recs[i], encodedSize(&recs[i]))
+	}
+	w.stats.Appends++
+	w.stats.Records += uint64(len(recs))
+	w.stats.BytesWritten += total
+}
+
+// waitForSpace blocks until live+need fits under the limit.
+func (w *WAL) waitForSpace(p *simrt.Proc, need int64) {
+	if w.max <= 0 {
+		return
+	}
+	for w.live+need > w.max {
+		w.stats.FullStalls++
+		ch := simrt.NewChan[struct{}](w.sim)
+		w.waiters = append(w.waiters, fullWaiter{need: need, ch: ch})
+		if w.fullHandler != nil {
+			h := w.fullHandler
+			w.sim.After(0, h)
+		}
+		ch.Recv(p)
+	}
+}
+
+// admit updates the index for a durable record.
+func (w *WAL) admit(rec Record, size int64) {
+	e := w.index[rec.Op]
+	if e == nil {
+		e = &opEntry{}
+		w.index[rec.Op] = e
+	}
+	e.bytes += size
+	e.types |= bit(rec.Type)
+	if rec.Type == RecInvalidate {
+		e.invalids++
+	}
+	w.live += size
+	w.ordered = append(w.ordered, rec)
+}
+
+// Prune removes all records of op from the log, freeing space and waking
+// stalled appenders whose need now fits. The caller must only prune an op
+// whose terminal record (Complete on the coordinator, Commit/Abort on the
+// participant) is durable; that discipline lives in the protocol layer.
+func (w *WAL) Prune(op types.OpID) {
+	e := w.index[op]
+	if e == nil {
+		return
+	}
+	w.live -= e.bytes
+	delete(w.index, op)
+	w.stats.Pruned++
+	// Compact the ordered view lazily: drop records whose op left the index.
+	if len(w.ordered) > 0 && len(w.index)*4 < len(w.ordered) {
+		kept := w.ordered[:0]
+		for _, r := range w.ordered {
+			if _, ok := w.index[r.Op]; ok {
+				kept = append(kept, r)
+			}
+		}
+		w.ordered = kept
+	}
+	w.wakeWaiters()
+}
+
+func (w *WAL) wakeWaiters() {
+	if w.max <= 0 {
+		return
+	}
+	remaining := w.waiters[:0]
+	for _, fw := range w.waiters {
+		if w.live+fw.need <= w.max {
+			fw.ch.Send(struct{}{})
+		} else {
+			remaining = append(remaining, fw)
+		}
+	}
+	w.waiters = remaining
+}
+
+// Crash marks the log's server down: in-flight and future appends are
+// discarded (not durable) and stalled appenders are released into the void.
+func (w *WAL) Crash() {
+	w.crashed = true
+	for _, fw := range w.waiters {
+		fw.ch.Send(struct{}{})
+	}
+	w.waiters = nil
+}
+
+// Reboot re-enables the log after Crash. The index still holds every record
+// that was durable at crash time.
+func (w *WAL) Reboot() { w.crashed = false }
+
+// LiveOps returns the OpIDs with live records, in no particular order.
+func (w *WAL) LiveOps() []types.OpID {
+	ops := make([]types.OpID, 0, len(w.index))
+	for op := range w.index {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// RecoverScan reads the whole live log sequentially from disk (paying the
+// read cost) and returns the surviving records in append order. Called by a
+// rebooted server to rebuild protocol state.
+func (w *WAL) RecoverScan(p *simrt.Proc) []Record {
+	// Drop records of pruned ops before returning.
+	kept := make([]Record, 0, len(w.ordered))
+	var liveBytes int64
+	for _, r := range w.ordered {
+		if _, ok := w.index[r.Op]; ok {
+			kept = append(kept, r)
+			liveBytes += encodedSize(&r)
+		}
+	}
+	w.ordered = kept
+	if liveBytes > 0 {
+		w.dsk.Access(p, w.base, liveBytes, false)
+	}
+	out := make([]Record, len(kept))
+	copy(out, kept)
+	return out
+}
+
+// EncodedSize reports the on-disk size of a record; exported for the
+// harness's valid-record accounting.
+func EncodedSize(rec Record) int64 { return encodedSize(&rec) }
+
+// RoundTrip encodes and decodes a record, verifying the codec; used by
+// tests and by the recovery path's integrity check.
+func RoundTrip(rec Record) (Record, error) {
+	buf := encode(&rec)
+	return decode(buf)
+}
+
+// String renders WAL state for debugging.
+func (w *WAL) String() string {
+	return fmt.Sprintf("wal{head=%d live=%d ops=%d}", w.head, w.live, len(w.index))
+}
+
+// SyncDelay estimates the cost of one small sequential append under the
+// disk's parameters; exported so cost-model tests can sanity-check the
+// calibration.
+func SyncDelay(d *disk.Disk) time.Duration {
+	p := d.Params()
+	return p.SettleTime + time.Duration(128*int64(time.Second)/p.TransferBps)
+}

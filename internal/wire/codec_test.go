@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cxfs/internal/types"
+)
+
+func sampleMsg() Msg {
+	return Msg{
+		Type:      MsgSubOpResp,
+		From:      3,
+		To:        101,
+		Op:        types.OpID{Proc: types.ProcID{Client: 101, Index: 4}, Seq: 77},
+		ReplyProc: types.ProcID{Client: 101, Index: 4},
+		Sub: types.SubOp{
+			Op:     types.OpID{Proc: types.ProcID{Client: 101, Index: 4}, Seq: 77},
+			Kind:   types.OpCreate,
+			Role:   types.RoleParticipant,
+			Action: types.ActAddInode,
+			Parent: 9, Name: "checkpoint.000123", Ino: 5001, Type: types.FileRegular,
+		},
+		Peer:  2,
+		OK:    true,
+		Hint:  types.OpID{Proc: types.ProcID{Client: 100, Index: 1}, Seq: 3},
+		Epoch: 2,
+		Attr:  types.Inode{Ino: 5001, Type: types.FileRegular, Nlink: 1, Size: 0, Mtime: 88},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		sampleMsg(),
+		{Type: MsgLCom, From: 101, To: 0, Op: types.OpID{Seq: 1}},
+		{Type: MsgVote, From: 0, To: 1, Ops: []types.OpID{{Seq: 1}, {Seq: 2}, {Seq: 3}}, Enforce: []types.OpID{{Seq: 9}}},
+		{Type: MsgVoteResp, From: 1, To: 0, Votes: []Vote{{Op: types.OpID{Seq: 1}, OK: true}, {Op: types.OpID{Seq: 2}}}},
+		{Type: MsgCommitReq, From: 0, To: 1, Decisions: []Decision{{Op: types.OpID{Seq: 9}, Commit: true}}},
+		{Type: MsgMigrateResp, From: 1, To: 0, Rows: []Row{{Key: "i/42", Val: []byte{1, 2, 3}}, {Key: "d/1/f", Val: nil}}},
+		{Type: MsgMigrateReq, From: 0, To: 1, Keys: []string{"i/42", "d/1/f"}},
+		{Type: MsgOpResp, From: 0, To: 101, Err: "entry exists"},
+	}
+	for _, m := range msgs {
+		buf := Encode(&m)
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		// Normalize empty-vs-nil rows payload.
+		if len(got.Rows) == len(m.Rows) {
+			for i := range got.Rows {
+				if len(got.Rows[i].Val) == 0 && len(m.Rows[i].Val) == 0 {
+					got.Rows[i].Val, m.Rows[i].Val = nil, nil
+				}
+			}
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v round trip mismatch:\n got %+v\nwant %+v", m.Type, got, m)
+		}
+	}
+}
+
+func TestSizeMatchesEncodedLength(t *testing.T) {
+	for _, m := range []Msg{
+		sampleMsg(),
+		{Type: MsgVote, Ops: make([]types.OpID, 100)},
+		{Type: MsgMigrateResp, Rows: []Row{{Key: "abc", Val: make([]byte, 37)}}},
+		{},
+	} {
+		if got, want := Size(&m), int64(len(Encode(&m))); got != want {
+			t.Errorf("%v: Size=%d, len(Encode)=%d", m.Type, got, want)
+		}
+	}
+}
+
+func TestSizeMatchesEncodedLengthQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			m := Msg{
+				Type: MsgType(r.Intn(NumMsgTypes)),
+				From: types.NodeID(r.Int31()),
+				To:   types.NodeID(r.Int31()),
+				Op:   types.OpID{Proc: types.ProcID{Client: types.NodeID(r.Int31()), Index: r.Int31()}, Seq: r.Uint64()},
+				OK:   r.Intn(2) == 0,
+				Err:  randStr(r, 20),
+				Sub:  types.SubOp{Name: randStr(r, 40)},
+				FullOp: types.Op{
+					Name:    randStr(r, 30),
+					NewName: randStr(r, 30),
+				},
+				Epoch: r.Uint32(),
+			}
+			for i := 0; i < r.Intn(5); i++ {
+				m.Ops = append(m.Ops, types.OpID{Seq: r.Uint64()})
+				m.Votes = append(m.Votes, Vote{Op: types.OpID{Seq: r.Uint64()}, OK: r.Intn(2) == 0})
+				m.Decisions = append(m.Decisions, Decision{Op: types.OpID{Seq: r.Uint64()}, Commit: r.Intn(2) == 0})
+				m.Rows = append(m.Rows, Row{Key: randStr(r, 10), Val: []byte(randStr(r, 50))})
+				m.Keys = append(m.Keys, randStr(r, 10))
+			}
+			vals[0] = reflect.ValueOf(m)
+		},
+	}
+	f := func(m Msg) bool {
+		buf := Encode(&m)
+		if int64(len(buf)) != Size(&m) {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.Op == m.Op && got.Type == m.Type && got.Err == m.Err &&
+			len(got.Ops) == len(m.Ops) && len(got.Rows) == len(m.Rows)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randStr(r *rand.Rand, max int) string {
+	n := r.Intn(max + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil frame accepted")
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short frame accepted")
+	}
+	m := sampleMsg()
+	buf := Encode(&m)
+	if _, err := Decode(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, err := Decode(append(buf, 0)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestMsgTypeNamesMatchPaper(t *testing.T) {
+	// Table III vocabulary must be visible in the type names.
+	for ty, want := range map[MsgType]string{
+		MsgVote:      "VOTE",
+		MsgSubOpResp: "YES/NO",
+		MsgCommitReq: "COMMIT/ABORT-REQ",
+		MsgAck:       "ACK",
+		MsgLCom:      "L-COM",
+		MsgAllNo:     "ALL-NO",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d.String()=%q, want %q", ty, ty.String(), want)
+		}
+	}
+}
