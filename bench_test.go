@@ -208,7 +208,7 @@ func BenchmarkProtocolsAblation(b *testing.B) {
 			o := cluster.DefaultOptions(8, proto)
 			o.ClientHosts = 16
 			o.ProcsPerHost = 8
-			c := cluster.New(o)
+			c := cluster.MustNew(o)
 			res := (&trace.Replayer{Trace: tr, C: c}).Run()
 			c.Shutdown()
 			b.ReportMetric(res.ReplayTime.Seconds()*1000, "replay-ms/"+string(proto))
@@ -221,7 +221,7 @@ func BenchmarkProtocolsAblation(b *testing.B) {
 func BenchmarkMetaratesSingleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := cluster.DefaultOptions(8, cluster.ProtoCx)
-		c := cluster.New(o)
+		c := cluster.MustNew(o)
 		res := metarates.Run(c, metarates.Config{Mix: metarates.UpdateDominated, OpsPerProc: 20})
 		c.Shutdown()
 		b.ReportMetric(res.Throughput, "vops/s")
@@ -261,7 +261,7 @@ func BenchmarkCxAblations(b *testing.B) {
 		if mutate != nil {
 			mutate(&o)
 		}
-		c := cluster.New(o)
+		c := cluster.MustNew(o)
 		res := (&trace.Replayer{Trace: tr, C: c, ExtraSharedReads: 0.10}).Run()
 		c.Shutdown()
 		return res.ReplayTime.Seconds() * 1000

@@ -6,11 +6,19 @@
 //	cxbench -exp all                # every experiment at the default scale
 //	cxbench -exp fig5 -scale 0.01   # one experiment, bigger replay
 //	cxbench -exp table5 -servers 8
+//	cxbench -exp fig5 -hist -trace /tmp/fig5.trace
 //
 // Experiments: table2, table4, table5, fig4, fig5, fig6, fig7a, fig7b,
 // fig8, fig9a, fig9b, protocols (extension: 2PC and CE in the comparison).
 // Each prints a table whose rows mirror the paper's; EXPERIMENTS.md records
 // the paper-vs-measured comparison.
+//
+// With -hist, every operation's virtual-time latency is recorded and a
+// per-kind/protocol/outcome quantile table (p50/p95/p99) is printed after
+// the experiments. With -trace FILE, protocol-phase events are retained and
+// written as Chrome trace_event JSON (load in chrome://tracing or Perfetto);
+// a deterministic disordered-conflict probe runs last so the file always
+// contains the invalidation and lazy-commitment paths.
 package main
 
 import (
@@ -22,20 +30,31 @@ import (
 
 	"cxfs/internal/cluster"
 	"cxfs/internal/harness"
+	"cxfs/internal/obs"
+	"cxfs/internal/simrt"
 	"cxfs/internal/stats"
 	"cxfs/internal/trace"
+	"cxfs/internal/types"
+	"cxfs/internal/wire"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|latency|triggers|all)")
-		scale   = flag.Float64("scale", 0.004, "fraction of each paper trace's op count to replay")
-		servers = flag.Int("servers", 8, "metadata servers for trace-driven experiments")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|latency|triggers|all)")
+		scale    = flag.Float64("scale", 0.004, "fraction of each paper trace's op count to replay")
+		servers  = flag.Int("servers", 8, "metadata servers for trace-driven experiments")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		hist     = flag.Bool("hist", false, "print per-operation latency quantiles (p50/p95/p99) after the experiments")
+		traceOut = flag.String("trace", "", "write protocol-phase events as Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 
-	cfg := harness.Config{Scale: *scale, Servers: *servers, Seed: *seed}
+	var obsv *obs.Observer
+	if *hist || *traceOut != "" {
+		obsv = obs.New(obs.Options{Hist: *hist, Trace: *traceOut != ""})
+	}
+
+	cfg := harness.Config{Scale: *scale, Servers: *servers, Seed: *seed, Obs: obsv}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "latency", "triggers"}
@@ -47,6 +66,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *hist {
+		fmt.Println(obsv.HistTable())
+	}
+	if *traceOut != "" {
+		if err := writeTrace(obsv, *traceOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cxbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -114,7 +143,8 @@ func protocolsExtension(cfg harness.Config) *stats.Table {
 		o.ClientHosts = 16
 		o.ProcsPerHost = 8
 		o.Seed = cfg.Seed
-		c := cluster.New(o)
+		o.Obs = cfg.Obs
+		c := cluster.MustNew(o)
 		res := (&trace.Replayer{Trace: tr, C: c}).Run()
 		c.Shutdown()
 		if proto == cluster.ProtoSE {
@@ -123,4 +153,168 @@ func protocolsExtension(cfg harness.Config) *stats.Table {
 		tbl.Add(string(proto), res.ReplayTime, res.Messages, stats.Pct(stats.Improvement(base, res.ReplayTime)))
 	}
 	return tbl
+}
+
+// writeTrace runs the disorder probe (so the trace is guaranteed to contain
+// the rare paths), writes the Chrome trace, and prints a summary.
+func writeTrace(obsv *obs.Observer, path string, seed int64) error {
+	if err := disorderProbe(obsv, seed); err != nil {
+		return fmt.Errorf("disorder probe: %v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obsv.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d events retained (%d evicted) -> %s\n",
+		len(obsv.Events()), obsv.Dropped(), path)
+	fmt.Printf("trace: commit-lazy=%d commit-immediate=%d conflict-ordered=%d conflict-disordered=%d invalidate=%d l-com=%d prune=%d\n",
+		obsv.PhaseCount(obs.PhaseCommitLazy), obsv.PhaseCount(obs.PhaseCommitImmediate),
+		obsv.PhaseCount(obs.PhaseConflictOrdered), obsv.PhaseCount(obs.PhaseConflictDisordered),
+		obsv.PhaseCount(obs.PhaseInvalidate), obsv.PhaseCount(obs.PhaseLCom),
+		obsv.PhaseCount(obs.PhasePrune))
+	return nil
+}
+
+// disorderProbe forces one Figure 3b disordered conflict on a dedicated
+// 4-server Cx cluster: an unlink and a link of the same (dentry, inode)
+// arrive in opposite orders at the coordinator and participant, so the
+// participant must invalidate its premature execution and re-execute after
+// the enforced predecessor commits. It runs after the experiments so its
+// events are never evicted from the bounded ring.
+func disorderProbe(obsv *obs.Observer, seed int64) error {
+	o := cluster.DefaultOptions(4, cluster.ProtoCx)
+	o.ClientHosts = 4
+	o.ProcsPerHost = 2
+	o.Seed = seed
+	o.Cx.Timeout = time.Hour // never let a retry mask the disorder
+	o.Obs = obsv
+	c, err := cluster.New(o)
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown()
+
+	c.Sim.Spawn("probe", func(p *simrt.Proc) {
+		prSetup := c.Proc(1)
+		prA, prB := c.Proc(0), c.Proc(c.NumProcs()-1)
+		hostA, hostB := c.Hosts[0], c.Hosts[len(c.Hosts)-1]
+
+		// Seed a file reachable by two names (nlink 2) so the unlink and
+		// the re-link both succeed in isolation.
+		name, ino, coord, part := findSharedPlacement(c, prSetup)
+		c.Bases[coord].Shard.SeedDentry(types.RootInode, name, ino)
+		second := name + ".alt"
+		c.Bases[c.Placement.CoordinatorFor(types.RootInode, second)].Shard.SeedDentry(types.RootInode, second, ino)
+		c.Bases[part].Shard.SeedInode(types.Inode{Ino: ino, Type: types.FileRegular, Nlink: 2})
+
+		idA, idB := prA.NextID(), prB.NextID()
+		opA := types.Op{ID: idA, Kind: types.OpUnlink, Parent: types.RootInode, Name: name, Ino: ino}
+		opB := types.Op{ID: idB, Kind: types.OpLink, Parent: types.RootInode, Name: name, Ino: ino}
+		cA, pA := types.Split(opA)
+		cB, pB := types.Split(opB)
+
+		routeA := hostA.Open(idA)
+		routeB := hostB.Open(idB)
+		defer hostA.Done(idA)
+		defer hostB.Done(idB)
+
+		// Force the disorder: coordinator sees A then B; participant sees
+		// B then A. Equal network latency preserves send order.
+		hostA.Send(wire.Msg{Type: wire.MsgSubOpReq, To: coord, Op: idA, Sub: cA, Peer: part, ReplyProc: idA.Proc})
+		hostB.Send(wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: idB, Sub: pB, Peer: coord, ReplyProc: idB.Proc})
+		p.Sleep(time.Millisecond)
+		hostB.Send(wire.Msg{Type: wire.MsgSubOpReq, To: coord, Op: idB, Sub: cB, Peer: part, ReplyProc: idB.Proc})
+		hostA.Send(wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: idA, Sub: pA, Peer: coord, ReplyProc: idA.Proc})
+
+		// Drain both clients until their responses settle, then quiesce so
+		// the lazy commitment and WAL pruning run too.
+		g := simrt.NewGroup(c.Sim)
+		g.Add(2)
+		drain := func(route *simrt.Chan[wire.Msg]) func(*simrt.Proc) {
+			return func(dp *simrt.Proc) {
+				defer g.Done()
+				(&probeCollector{route: route, coord: coord}).run(dp, 30*time.Second)
+			}
+		}
+		c.Sim.Spawn("probe/clientA", drain(routeA))
+		c.Sim.Spawn("probe/clientB", drain(routeB))
+		g.Wait(p)
+		c.Quiesce(p)
+		c.Sim.Stop()
+	})
+	c.Sim.RunUntil(time.Hour)
+	if !c.Sim.Stopped() {
+		return fmt.Errorf("probe did not converge")
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		return fmt.Errorf("probe left bad invariants: %v", bad)
+	}
+	return nil
+}
+
+// findSharedPlacement hunts for a (name, ino) whose unlink and link share
+// BOTH servers: the dentry partition (coordinator) and the inode home
+// (participant), with coordinator != participant.
+func findSharedPlacement(c *cluster.Cluster, pr *cluster.Process) (name string, ino types.InodeID, coord, part types.NodeID) {
+	for try := 0; ; try++ {
+		name = fmt.Sprintf("disordered-%d", try)
+		ino = pr.AllocInode()
+		coord = c.Placement.CoordinatorFor(types.RootInode, name)
+		part = c.Placement.ParticipantFor(ino)
+		if coord != part {
+			return
+		}
+	}
+}
+
+// probeCollector drains one raw client's response route until the op
+// settles (both sub-op replies present and not voided) or the deadline.
+type probeCollector struct {
+	route    *simrt.Chan[wire.Msg]
+	coord    types.NodeID
+	haveC    bool
+	haveP    bool
+	okC, okP bool
+	voidP    bool
+	epochP   uint32
+}
+
+func (cl *probeCollector) run(p *simrt.Proc, deadline time.Duration) {
+	for {
+		m, got := cl.route.RecvTimeout(p, deadline)
+		if !got {
+			return
+		}
+		if m.Type == wire.MsgAllNo {
+			return
+		}
+		if m.Type != wire.MsgSubOpResp {
+			continue
+		}
+		invalid := m.Err == types.ErrInvalidated.Error()
+		if m.From == cl.coord {
+			cl.haveC, cl.okC = true, m.OK
+		} else {
+			if m.Epoch < cl.epochP {
+				continue
+			}
+			cl.epochP = m.Epoch
+			if invalid {
+				cl.voidP = true
+				continue
+			}
+			cl.haveP, cl.okP = true, m.OK
+			cl.voidP = false
+		}
+		if cl.haveC && cl.haveP && !cl.voidP {
+			return
+		}
+	}
 }

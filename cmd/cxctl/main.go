@@ -8,6 +8,7 @@
 //	cxctl -scale 0.01 run fig5
 //	cxctl -trace s3d -protocol cx replay
 //	cxctl -mix update-dominated -servers 8 metarates
+//	cxctl report                    # latency histograms of the last run
 package main
 
 import (
@@ -35,7 +36,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cxctl [flags] <ping|experiments|run EXP|replay|metarates>")
+		fmt.Fprintln(os.Stderr, "usage: cxctl [flags] <ping|experiments|run EXP|replay|metarates|report>")
 		os.Exit(2)
 	}
 

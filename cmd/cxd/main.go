@@ -15,6 +15,7 @@
 //	{"cmd":"run","exp":"table2","scale":0.002,"servers":4}
 //	{"cmd":"replay","trace":"s3d","protocol":"cx","scale":0.002}
 //	{"cmd":"metarates","mix":"update-dominated","servers":4,"ops":40}
+//	{"cmd":"report"}
 //
 // Responses: {"ok":true,"output":...} or {"ok":false,"error":"..."}.
 package main
@@ -33,6 +34,7 @@ import (
 	"cxfs/internal/cluster"
 	"cxfs/internal/harness"
 	"cxfs/internal/metarates"
+	"cxfs/internal/obs"
 	"cxfs/internal/trace"
 )
 
@@ -61,6 +63,9 @@ type Response struct {
 // deterministic, so one at a time keeps results reproducible.
 type server struct {
 	mu sync.Mutex
+	// obs is the observability session of the most recent run; the
+	// "report" command renders it.
+	obs *obs.Observer
 }
 
 func main() {
@@ -106,8 +111,17 @@ func (s *server) serve(conn net.Conn) {
 	}
 }
 
-func (s *server) handle(req Request) Response {
+func (s *server) handle(req Request) (resp Response) {
 	start := time.Now()
+	// Defense in depth: no network-supplied request may kill the daemon.
+	// Validation below should reject bad input first; a panic that slips
+	// through becomes an error response.
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Response{Error: fmt.Sprintf("internal error: %v", r),
+				Millis: time.Since(start).Milliseconds()}
+		}
+	}()
 	out, err := s.dispatch(req)
 	if err != nil {
 		return Response{Error: err.Error(), Millis: time.Since(start).Milliseconds()}
@@ -115,7 +129,22 @@ func (s *server) handle(req Request) Response {
 	return Response{OK: true, Output: out, Millis: time.Since(start).Milliseconds()}
 }
 
-func (s *server) dispatch(req Request) (string, error) {
+// validate bounds the numeric knobs a request may set. Defaults apply only
+// to zero values; anything negative or absurd is an error, never a panic.
+func validate(req *Request) error {
+	switch {
+	case req.Scale < 0 || req.Scale > 1:
+		return fmt.Errorf("scale must be in (0,1], got %v", req.Scale)
+	case req.Servers < 0 || req.Servers > 1024:
+		return fmt.Errorf("servers must be in [1,1024], got %d", req.Servers)
+	case req.Ops < 0 || req.Ops > 1<<20:
+		return fmt.Errorf("ops must be in [0,%d], got %d", 1<<20, req.Ops)
+	case req.Seed < 0:
+		return fmt.Errorf("seed must be non-negative, got %d", req.Seed)
+	}
+	if req.Protocol != "" && !cluster.Protocol(req.Protocol).Valid() {
+		return fmt.Errorf("unknown protocol %q", req.Protocol)
+	}
 	if req.Scale == 0 {
 		req.Scale = 0.002
 	}
@@ -124,6 +153,13 @@ func (s *server) dispatch(req Request) (string, error) {
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
+	}
+	return nil
+}
+
+func (s *server) dispatch(req Request) (string, error) {
+	if err := validate(&req); err != nil {
+		return "", err
 	}
 	switch req.Cmd {
 	case "ping":
@@ -136,14 +172,34 @@ func (s *server) dispatch(req Request) (string, error) {
 		return s.runReplay(req)
 	case "metarates":
 		return s.runMetarates(req)
+	case "report":
+		return s.report()
 	}
 	return "", fmt.Errorf("unknown command %q", req.Cmd)
+}
+
+// beginObs opens a fresh observability session for one run; "report"
+// renders the latest.
+func (s *server) beginObs() *obs.Observer {
+	s.obs = obs.New(obs.Options{Hist: true, Trace: true})
+	return s.obs
+}
+
+// report renders the latency histograms and phase counts of the most
+// recent run.
+func (s *server) report() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.obs == nil {
+		return "", fmt.Errorf("no run to report on yet")
+	}
+	return s.obs.HistTable().String() + "\n" + s.obs.PhaseTable().String(), nil
 }
 
 func (s *server) runExperiment(req Request) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cfg := harness.Config{Scale: req.Scale, Servers: req.Servers, Seed: req.Seed}
+	cfg := harness.Config{Scale: req.Scale, Servers: req.Servers, Seed: req.Seed, Obs: s.beginObs()}
 	switch req.Exp {
 	case "table2":
 		_, tbl := harness.Table2(cfg)
@@ -197,7 +253,11 @@ func (s *server) runReplay(req Request) (string, error) {
 	o.ClientHosts = 16
 	o.ProcsPerHost = 8
 	o.Seed = req.Seed
-	c := cluster.New(o)
+	o.Obs = s.beginObs()
+	c, err := cluster.New(o)
+	if err != nil {
+		return "", err
+	}
 	defer c.Shutdown()
 	res := (&trace.Replayer{Trace: tr, C: c}).Run()
 	return fmt.Sprintf("workload=%s protocol=%s ops=%d replay=%v messages=%d conflicts=%d (ratio %.3f%%)",
@@ -221,7 +281,11 @@ func (s *server) runMetarates(req Request) (string, error) {
 	}
 	o := cluster.DefaultOptions(req.Servers, proto)
 	o.Seed = req.Seed
-	c := cluster.New(o)
+	o.Obs = s.beginObs()
+	c, err := cluster.New(o)
+	if err != nil {
+		return "", err
+	}
 	defer c.Shutdown()
 	res := metarates.Run(c, metarates.Config{Mix: mix, OpsPerProc: req.Ops})
 	return fmt.Sprintf("mix=%s protocol=%s servers=%d procs=%d ops=%d elapsed=%v throughput=%.0f ops/s",

@@ -28,6 +28,52 @@ func TestDispatchCommands(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsBadInput covers the request validation the daemon used
+// to lack: unknown protocols and out-of-range numeric knobs must come back
+// as errors, never reach cluster construction, and never panic.
+func TestValidateRejectsBadInput(t *testing.T) {
+	s := &server{}
+	bad := []Request{
+		{Cmd: "replay", Trace: "CTH", Protocol: "bogus"},
+		{Cmd: "metarates", Protocol: "paxos"},
+		{Cmd: "replay", Trace: "CTH", Servers: -4},
+		{Cmd: "replay", Trace: "CTH", Servers: 5000},
+		{Cmd: "run", Exp: "table2", Scale: -0.5},
+		{Cmd: "run", Exp: "table2", Scale: 1.5},
+		{Cmd: "metarates", Ops: -1},
+		{Cmd: "replay", Trace: "CTH", Seed: -7},
+	}
+	for _, req := range bad {
+		if _, err := s.dispatch(req); err == nil {
+			t.Errorf("accepted %+v", req)
+		}
+	}
+	// handle() must convert the same failures into error responses, not
+	// panics that would kill the daemon.
+	for _, req := range bad {
+		if resp := s.handle(req); resp.OK || resp.Error == "" {
+			t.Errorf("handle(%+v) = %+v, want error response", req, resp)
+		}
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	s := &server{}
+	if _, err := s.dispatch(Request{Cmd: "report"}); err == nil {
+		t.Error("report before any run should error")
+	}
+	if _, err := s.dispatch(Request{Cmd: "replay", Trace: "CTH", Scale: 0.0005, Servers: 2}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	out, err := s.dispatch(Request{Cmd: "report"})
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "protocol") {
+		t.Errorf("report output missing histogram table:\n%s", out)
+	}
+}
+
 func TestDispatchReplayAndMetarates(t *testing.T) {
 	s := &server{}
 	out, err := s.dispatch(Request{Cmd: "replay", Trace: "CTH", Protocol: "cx", Scale: 0.001, Servers: 2, Seed: 1})
@@ -95,5 +141,18 @@ func TestServeOverRealSocket(t *testing.T) {
 	}
 	if r := send(Request{Cmd: "replay", Trace: "CTH", Scale: 0.0005, Servers: 2}); !r.OK {
 		t.Errorf("replay over socket: %+v", r)
+	}
+
+	// Regression: these requests used to panic inside cluster construction
+	// and kill the daemon. They must come back as error responses, and the
+	// daemon must keep answering afterwards.
+	if r := send(Request{Cmd: "replay", Trace: "CTH", Protocol: "bogus"}); r.OK || r.Error == "" {
+		t.Errorf("bogus protocol: %+v", r)
+	}
+	if r := send(Request{Cmd: "replay", Trace: "CTH", Servers: -4}); r.OK || r.Error == "" {
+		t.Errorf("negative servers: %+v", r)
+	}
+	if r := send(Request{Cmd: "ping"}); !r.OK || r.Output != "pong" {
+		t.Errorf("daemon dead after malformed requests: %+v", r)
 	}
 }

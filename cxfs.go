@@ -124,7 +124,7 @@ func New(o Options) *FS {
 	case o.LogLimit < 0:
 		co.Hardware.LogMaxBytes = 0
 	}
-	return &FS{c: cluster.New(co)}
+	return &FS{c: cluster.MustNew(co)}
 }
 
 // Cluster exposes the underlying assembly for advanced use (experiment

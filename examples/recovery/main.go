@@ -25,7 +25,7 @@ func main() {
 	o.Cx.Timeout = time.Hour // hold commitments pending so the crash bites
 	o.Cx.RecoveryFreeze = 200 * time.Millisecond
 	o.Hardware.LogMaxBytes = 0
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 
 	// The failure-detection subsystem of §V: heartbeats every 20ms,

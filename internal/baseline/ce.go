@@ -250,6 +250,7 @@ func rowLockKeys(rows []string) []types.ObjKey {
 type CEDriver struct {
 	host *node.Host
 	pl   namespace.Placement
+	observed
 }
 
 // NewCEDriver builds a CE driver.
@@ -259,8 +260,10 @@ func NewCEDriver(host *node.Host, pl namespace.Placement) *CEDriver {
 
 // Do executes one metadata operation through the coordinator.
 func (d *CEDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
-	if !op.Kind.CrossServer() {
-		return singleServerOp(p, d.host, d.pl, op)
-	}
-	return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name))
+	return d.record(d.host, op, func() (types.Inode, error) {
+		if !op.Kind.CrossServer() {
+			return singleServerOp(p, d.host, d.pl, op)
+		}
+		return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name))
+	})
 }

@@ -1,0 +1,40 @@
+package baseline
+
+import (
+	"cxfs/internal/node"
+	"cxfs/internal/obs"
+	"cxfs/internal/types"
+)
+
+// observed is the shared observability attachment for the baseline drivers
+// (SE, 2PC, CE). The baselines have no conflict machinery visible to the
+// client, so each operation is either complete or aborted.
+type observed struct {
+	obsv  *obs.Observer
+	proto string
+}
+
+// SetObserver attaches the observability layer; client-observed latencies
+// are recorded under proto. Nil (the default) records nothing.
+func (od *observed) SetObserver(o *obs.Observer, proto string) {
+	od.obsv, od.proto = o, proto
+}
+
+// record wraps one driver call with issue-event and latency recording.
+func (od *observed) record(host *node.Host, op types.Op, inner func() (types.Inode, error)) (types.Inode, error) {
+	if od.obsv == nil {
+		return inner()
+	}
+	start := host.Sim.Now()
+	if od.obsv.TraceOn() {
+		od.obsv.Emit(start, int(host.ID), op.ID, obs.PhaseIssue, op.Kind.String())
+	}
+	ino, err := inner()
+	out := obs.OutcomeComplete
+	if err != nil {
+		out = obs.OutcomeAborted
+	}
+	od.obsv.RecordOp(op.Kind, od.proto, out, op.ID, int(host.ID),
+		start, host.Sim.Now()-start)
+	return ino, err
+}

@@ -19,7 +19,7 @@ func buildProto(proto cluster.Protocol) *cluster.Cluster {
 	o := cluster.DefaultOptions(4, proto)
 	o.ClientHosts = 2
 	o.ProcsPerHost = 1
-	return cluster.New(o)
+	return cluster.MustNew(o)
 }
 
 // crossPlacement finds a (name, ino) pair with distinct coordinator and
@@ -207,7 +207,7 @@ func TestSEBatchedFlushDaemonDrains(t *testing.T) {
 	o.ClientHosts = 1
 	o.ProcsPerHost = 1
 	o.SEFlush = 100 * time.Millisecond
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 	done := false
 	c.Sim.Spawn("t", func(p *simrt.Proc) {

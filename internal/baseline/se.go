@@ -224,6 +224,7 @@ func (s *SEServer) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 type SEDriver struct {
 	host *node.Host
 	pl   namespace.Placement
+	observed
 }
 
 // NewSEDriver builds an SE driver bound to a client host.
@@ -233,6 +234,10 @@ func NewSEDriver(host *node.Host, pl namespace.Placement) *SEDriver {
 
 // Do executes one metadata operation serially.
 func (d *SEDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	return d.record(d.host, op, func() (types.Inode, error) { return d.do(p, op) })
+}
+
+func (d *SEDriver) do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	if !op.Kind.CrossServer() {
 		return singleServerOp(p, d.host, d.pl, op)
 	}

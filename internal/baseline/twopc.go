@@ -259,6 +259,7 @@ func (s *TwoPCServer) applyDecision(p *simrt.Proc, id types.OpID, commit bool) {
 type TwoPCDriver struct {
 	host *node.Host
 	pl   namespace.Placement
+	observed
 }
 
 // NewTwoPCDriver builds a 2PC driver.
@@ -268,8 +269,10 @@ func NewTwoPCDriver(host *node.Host, pl namespace.Placement) *TwoPCDriver {
 
 // Do executes one metadata operation through the coordinator.
 func (d *TwoPCDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
-	if !op.Kind.CrossServer() {
-		return singleServerOp(p, d.host, d.pl, op)
-	}
-	return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name))
+	return d.record(d.host, op, func() (types.Inode, error) {
+		if !op.Kind.CrossServer() {
+			return singleServerOp(p, d.host, d.pl, op)
+		}
+		return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name))
+	})
 }

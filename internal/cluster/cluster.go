@@ -18,6 +18,7 @@ import (
 	"cxfs/internal/core"
 	"cxfs/internal/namespace"
 	"cxfs/internal/node"
+	"cxfs/internal/obs"
 	"cxfs/internal/simrt"
 	"cxfs/internal/transport"
 	"cxfs/internal/types"
@@ -38,6 +39,16 @@ const (
 // Protocols lists every protocol, in the order benchmarks report them.
 var Protocols = []Protocol{ProtoSE, ProtoSEBatched, ProtoCx, Proto2PC, ProtoCE}
 
+// Valid reports whether p names a known protocol.
+func (p Protocol) Valid() bool {
+	for _, known := range Protocols {
+		if p == known {
+			return true
+		}
+	}
+	return false
+}
+
 // Driver is the client-side face of a protocol.
 type Driver interface {
 	Do(p *simrt.Proc, op types.Op) (types.Inode, error)
@@ -56,6 +67,9 @@ type Options struct {
 	Cx       core.Config
 	// SEFlush paces the OFS-batched flush daemon.
 	SEFlush time.Duration
+	// Obs attaches the observability layer to the servers, drivers, and
+	// WALs. Nil (the default) disables all recording.
+	Obs *obs.Observer
 }
 
 // DefaultOptions mirrors the paper's setup for n servers.
@@ -92,10 +106,30 @@ func (c *Cluster) hostID(i int) types.NodeID {
 	return types.NodeID(c.Opts.Servers + i)
 }
 
-// New builds and starts a cluster inside a fresh simulation.
-func New(opts Options) *Cluster {
-	if opts.Servers <= 0 {
-		panic("cluster: need at least one server")
+// Size bounds on Options: a cluster build allocates goroutines and buffers
+// proportional to these, and Options can arrive from a network request
+// (cxd), so absurd values must fail cleanly instead of exhausting memory.
+const (
+	maxServers      = 1024
+	maxClientHosts  = 1 << 14
+	maxProcsPerHost = 1024
+)
+
+// New builds and starts a cluster inside a fresh simulation. It validates
+// the topology and protocol so a caller fed untrusted options (the cxd
+// daemon) gets an error instead of a panic.
+func New(opts Options) (*Cluster, error) {
+	if opts.Servers <= 0 || opts.Servers > maxServers {
+		return nil, fmt.Errorf("cluster: servers must be in [1,%d], got %d", maxServers, opts.Servers)
+	}
+	if opts.ClientHosts < 0 || opts.ClientHosts > maxClientHosts {
+		return nil, fmt.Errorf("cluster: client hosts must be in [0,%d], got %d", maxClientHosts, opts.ClientHosts)
+	}
+	if opts.ProcsPerHost < 0 || opts.ProcsPerHost > maxProcsPerHost {
+		return nil, fmt.Errorf("cluster: procs per host must be in [0,%d], got %d", maxProcsPerHost, opts.ProcsPerHost)
+	}
+	if !opts.Protocol.Valid() {
+		return nil, fmt.Errorf("cluster: unknown protocol %q", opts.Protocol)
 	}
 	if opts.ClientHosts == 0 {
 		opts.ClientHosts = 4 * opts.Servers
@@ -103,6 +137,8 @@ func New(opts Options) *Cluster {
 	if opts.ProcsPerHost == 0 {
 		opts.ProcsPerHost = 8
 	}
+	opts.Cx.Obs = opts.Obs
+	opts.Obs.BeginRun(string(opts.Protocol))
 	sim := simrt.New(opts.Seed)
 	net := transport.New(sim, opts.Net)
 	pl := namespace.Placement{Servers: opts.Servers}
@@ -111,6 +147,13 @@ func New(opts Options) *Cluster {
 	for i := 0; i < opts.Servers; i++ {
 		base := node.NewBase(sim, net, types.NodeID(i), opts.Hardware)
 		c.Bases = append(c.Bases, base)
+		if opts.Obs.TraceOn() {
+			nodeID := int(base.ID)
+			base.WAL.SetPruneHook(func(op types.OpID, bytes int64) {
+				opts.Obs.Emit(sim.Now(), nodeID, op, obs.PhasePrune,
+					fmt.Sprintf("%dB", bytes))
+			})
+		}
 		switch opts.Protocol {
 		case ProtoCx:
 			srv := core.NewServer(base, pl, opts.Cx)
@@ -124,8 +167,6 @@ func New(opts Options) *Cluster {
 			baseline.NewTwoPCServer(base, pl).Start()
 		case ProtoCE:
 			baseline.NewCEServer(base, pl).Start()
-		default:
-			panic(fmt.Sprintf("cluster: unknown protocol %q", opts.Protocol))
 		}
 	}
 	// The root directory inode lives on its placement server; a bootstrap
@@ -141,13 +182,21 @@ func New(opts Options) *Cluster {
 		c.Hosts = append(c.Hosts, host)
 		switch opts.Protocol {
 		case ProtoCx:
-			c.drivers = append(c.drivers, core.NewDriver(host, pl))
+			d := core.NewDriver(host, pl)
+			d.SetObserver(opts.Obs, string(opts.Protocol))
+			c.drivers = append(c.drivers, d)
 		case ProtoSE, ProtoSEBatched:
-			c.drivers = append(c.drivers, baseline.NewSEDriver(host, pl))
+			d := baseline.NewSEDriver(host, pl)
+			d.SetObserver(opts.Obs, string(opts.Protocol))
+			c.drivers = append(c.drivers, d)
 		case Proto2PC:
-			c.drivers = append(c.drivers, baseline.NewTwoPCDriver(host, pl))
+			d := baseline.NewTwoPCDriver(host, pl)
+			d.SetObserver(opts.Obs, string(opts.Protocol))
+			c.drivers = append(c.drivers, d)
 		case ProtoCE:
-			c.drivers = append(c.drivers, baseline.NewCEDriver(host, pl))
+			d := baseline.NewCEDriver(host, pl)
+			d.SetObserver(opts.Obs, string(opts.Protocol))
+			c.drivers = append(c.drivers, d)
 		}
 	}
 	for h := 0; h < opts.ClientHosts; h++ {
@@ -160,7 +209,50 @@ func New(opts Options) *Cluster {
 			})
 		}
 	}
+	return c, nil
+}
+
+// MustNew is New for callers with known-good options (benchmarks, tests,
+// the public API); it panics on validation failure.
+func MustNew(opts Options) *Cluster {
+	c, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
 	return c
+}
+
+// SamplerProc returns a Proc body that periodically samples cluster-wide
+// resource series into Opts.Obs: pending operations awaiting commitment,
+// WAL live bytes, and cumulative disk busy time. It generalizes the
+// valid-records sampling of the paper's Figure 7b. The caller spawns it
+// (the trace replayer does so automatically when sampling is on); it runs
+// until the simulation shuts down.
+func (c *Cluster) SamplerProc() func(*simrt.Proc) {
+	return func(p *simrt.Proc) {
+		o := c.Opts.Obs
+		interval := o.SampleInterval()
+		if interval <= 0 {
+			return
+		}
+		for {
+			p.Sleep(interval)
+			now := c.Sim.Now()
+			pending := 0
+			for _, srv := range c.CxSrv {
+				pending += srv.PendingOps()
+			}
+			var walLive int64
+			var busy time.Duration
+			for _, b := range c.Bases {
+				walLive += b.WAL.LiveBytes()
+				busy += b.Disk.Stats().BusyTime
+			}
+			o.Sample("pending-ops", now, float64(pending))
+			o.Sample("wal-live-bytes", now, float64(walLive))
+			o.Sample("disk-busy-seconds", now, busy.Seconds())
+		}
+	}
 }
 
 // NumProcs returns the total application process count.

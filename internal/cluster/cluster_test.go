@@ -59,11 +59,46 @@ func smallOptions(proto Protocol) Options {
 	return o
 }
 
+// TestNewValidatesOptions covers the constructor's input validation: bad
+// topologies and unknown protocols must come back as errors (the daemon
+// feeds it network input), never as panics deep in construction.
+func TestNewValidatesOptions(t *testing.T) {
+	bad := []func(*Options){
+		func(o *Options) { o.Servers = 0 },
+		func(o *Options) { o.Servers = -3 },
+		func(o *Options) { o.Servers = 100000 },
+		func(o *Options) { o.ClientHosts = -1 },
+		func(o *Options) { o.ProcsPerHost = -8 },
+		func(o *Options) { o.Protocol = "paxos" },
+		func(o *Options) { o.Protocol = "" },
+	}
+	for i, mutate := range bad {
+		o := smallOptions(ProtoCx)
+		mutate(&o)
+		c, err := New(o)
+		if err == nil {
+			c.Shutdown()
+			t.Errorf("case %d: options %+v accepted", i, o)
+		}
+	}
+	// Zero client topology is a usable default, not an error.
+	o := DefaultOptions(2, ProtoCx)
+	o.ClientHosts, o.ProcsPerHost = 0, 0
+	c, err := New(o)
+	if err != nil {
+		t.Fatalf("defaulted topology rejected: %v", err)
+	}
+	if c.NumProcs() == 0 {
+		t.Error("zero ClientHosts/ProcsPerHost did not default")
+	}
+	c.Shutdown()
+}
+
 func TestCreateStatRemoveAllProtocols(t *testing.T) {
 	for _, proto := range Protocols {
 		proto := proto
 		t.Run(string(proto), func(t *testing.T) {
-			c := New(smallOptions(proto))
+			c := MustNew(smallOptions(proto))
 			defer c.Shutdown()
 			runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 				for j := 0; j < 20; j++ {
@@ -95,7 +130,7 @@ func TestMkdirRmdirLinkUnlinkAllProtocols(t *testing.T) {
 	for _, proto := range Protocols {
 		proto := proto
 		t.Run(string(proto), func(t *testing.T) {
-			c := New(smallOptions(proto))
+			c := MustNew(smallOptions(proto))
 			defer c.Shutdown()
 			runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 				dname := fmt.Sprintf("dir-%d", idx)
@@ -135,7 +170,7 @@ func TestDuplicateCreateFailsConsistently(t *testing.T) {
 	for _, proto := range Protocols {
 		proto := proto
 		t.Run(string(proto), func(t *testing.T) {
-			c := New(smallOptions(proto))
+			c := MustNew(smallOptions(proto))
 			defer c.Shutdown()
 			failures := 0
 			runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
@@ -158,7 +193,7 @@ func TestDuplicateCreateFailsConsistently(t *testing.T) {
 func TestCxLazyCommitmentDefersThenSettles(t *testing.T) {
 	o := smallOptions(ProtoCx)
 	o.Cx.Timeout = time.Hour // no trigger fires during the workload
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 	var pendingAtEnd int
 	g := simrt.NewGroup(c.Sim)
@@ -200,7 +235,7 @@ func TestCxLazyCommitmentDefersThenSettles(t *testing.T) {
 func TestCxTimeoutTriggerCommitsWithoutHelp(t *testing.T) {
 	o := smallOptions(ProtoCx)
 	o.Cx.Timeout = 500 * time.Millisecond
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 	c.Sim.Spawn("app", func(p *simrt.Proc) {
 		pr := c.Proc(0)
@@ -227,7 +262,7 @@ func TestCxThresholdTrigger(t *testing.T) {
 	o := smallOptions(ProtoCx)
 	o.Cx.Timeout = time.Hour
 	o.Cx.Threshold = 5
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 	c.Sim.Spawn("app", func(p *simrt.Proc) {
 		pr := c.Proc(0)
@@ -257,7 +292,7 @@ func TestCxThresholdTrigger(t *testing.T) {
 func TestCxConflictForcesImmediateCommit(t *testing.T) {
 	o := smallOptions(ProtoCx)
 	o.Cx.Timeout = time.Hour
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 	var sharedIno types.InodeID
 	ready := simrt.NewChan[struct{}](c.Sim)
@@ -316,7 +351,7 @@ func TestCxConflictForcesImmediateCommit(t *testing.T) {
 func TestCxReadOfActiveObjectBlocksUntilCommit(t *testing.T) {
 	o := smallOptions(ProtoCx)
 	o.Cx.Timeout = time.Hour
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 	var created types.InodeID
 	ready := simrt.NewChan[struct{}](c.Sim)
@@ -354,7 +389,7 @@ func TestCxReadOfActiveObjectBlocksUntilCommit(t *testing.T) {
 func TestSameProcessReadsItsOwnPendingWrite(t *testing.T) {
 	o := smallOptions(ProtoCx)
 	o.Cx.Timeout = time.Hour
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 	c.Sim.Spawn("app", func(p *simrt.Proc) {
 		pr := c.Proc(0)
@@ -385,7 +420,7 @@ func TestSameProcessReadsItsOwnPendingWrite(t *testing.T) {
 
 func TestDeterministicReplay(t *testing.T) {
 	run := func() (time.Duration, uint64) {
-		c := New(smallOptions(ProtoCx))
+		c := MustNew(smallOptions(ProtoCx))
 		defer c.Shutdown()
 		d := runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 			for j := 0; j < 10; j++ {
@@ -409,7 +444,7 @@ func TestColocatedOpsAreLocal(t *testing.T) {
 			o := DefaultOptions(1, proto)
 			o.ClientHosts = 2
 			o.ProcsPerHost = 2
-			c := New(o)
+			c := MustNew(o)
 			defer c.Shutdown()
 			runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 				for j := 0; j < 5; j++ {
@@ -429,7 +464,7 @@ func TestCxFasterThanSEOnCreateStorm(t *testing.T) {
 	// serial execution with synchronous writes.
 	times := make(map[Protocol]time.Duration)
 	for _, proto := range []Protocol{ProtoSE, ProtoSEBatched, ProtoCx} {
-		c := New(smallOptions(proto))
+		c := MustNew(smallOptions(proto))
 		times[proto] = runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 			for j := 0; j < 25; j++ {
 				pr.Create(p, types.RootInode, fmt.Sprintf("s-%d-%d", idx, j))
@@ -450,7 +485,7 @@ func TestCxFasterThanSEOnCreateStorm(t *testing.T) {
 }
 
 func TestMessageCountsSane(t *testing.T) {
-	c := New(smallOptions(ProtoCx))
+	c := MustNew(smallOptions(ProtoCx))
 	defer c.Shutdown()
 	runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 		for j := 0; j < 10; j++ {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestDetectorSuspectsCrashedServerWithinBound(t *testing.T) {
-	c := New(smallOptions(ProtoCx))
+	c := MustNew(smallOptions(ProtoCx))
 	defer c.Shutdown()
 	d := NewFailureDetector(c, 50*time.Millisecond, 150*time.Millisecond)
 	var suspectedAt time.Duration
@@ -36,7 +36,7 @@ func TestDetectorSuspectsCrashedServerWithinBound(t *testing.T) {
 }
 
 func TestDetectorClearsAfterReboot(t *testing.T) {
-	c := New(smallOptions(ProtoCx))
+	c := MustNew(smallOptions(ProtoCx))
 	defer c.Shutdown()
 	d := NewFailureDetector(c, 40*time.Millisecond, 120*time.Millisecond)
 	var recoveredAt time.Duration
@@ -63,7 +63,7 @@ func TestDetectorClearsAfterReboot(t *testing.T) {
 }
 
 func TestDetectorQuietOnHealthyCluster(t *testing.T) {
-	c := New(smallOptions(ProtoCx))
+	c := MustNew(smallOptions(ProtoCx))
 	defer c.Shutdown()
 	d := NewFailureDetector(c, 30*time.Millisecond, 90*time.Millisecond)
 	d.OnSuspect = func(srv types.NodeID, at time.Duration) {

@@ -42,7 +42,7 @@ func runOracle(t *testing.T, proto Protocol, seed int64) {
 	o.ProcsPerHost = 2
 	o.Seed = seed
 	o.Cx.Timeout = 200 * time.Millisecond
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 
 	models := make([]map[string]*oracleFile, c.NumProcs())

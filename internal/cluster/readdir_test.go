@@ -12,7 +12,7 @@ func TestReaddirUnionsStripedPartitions(t *testing.T) {
 	for _, proto := range Protocols {
 		proto := proto
 		t.Run(string(proto), func(t *testing.T) {
-			c := New(smallOptions(proto))
+			c := MustNew(smallOptions(proto))
 			defer c.Shutdown()
 			runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 				if idx != 0 {
@@ -62,7 +62,7 @@ func TestReaddirUnionsStripedPartitions(t *testing.T) {
 }
 
 func TestReaddirEmptyAndRootDirectories(t *testing.T) {
-	c := New(smallOptions(ProtoCx))
+	c := MustNew(smallOptions(ProtoCx))
 	defer c.Shutdown()
 	runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 		if idx != 0 {
@@ -84,7 +84,7 @@ func TestReaddirEmptyAndRootDirectories(t *testing.T) {
 }
 
 func TestReportCountsActivity(t *testing.T) {
-	c := New(smallOptions(ProtoCx))
+	c := MustNew(smallOptions(ProtoCx))
 	defer c.Shutdown()
 	runWorkload(t, c, func(p *simrt.Proc, pr *Process, idx int) {
 		for j := 0; j < 10; j++ {

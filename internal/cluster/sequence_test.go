@@ -37,7 +37,7 @@ func runSequence(t *testing.T, proto Protocol, quiesce bool) []string {
 	o.ClientHosts = 1
 	o.ProcsPerHost = 1
 	o.Cx.Timeout = 100 * time.Millisecond
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 
 	var seq []string
@@ -178,7 +178,7 @@ func TestFig2bCxDisagreementSequence(t *testing.T) {
 	o.ClientHosts = 1
 	o.ProcsPerHost = 1
 	o.Cx.Timeout = time.Hour
-	c := New(o)
+	c := MustNew(o)
 	defer c.Shutdown()
 	var seq []string
 	done := false

@@ -6,6 +6,7 @@ import (
 
 	"cxfs/internal/namespace"
 	"cxfs/internal/node"
+	"cxfs/internal/obs"
 	"cxfs/internal/simrt"
 	"cxfs/internal/types"
 	"cxfs/internal/wire"
@@ -18,6 +19,9 @@ import (
 type Driver struct {
 	host *node.Host
 	pl   namespace.Placement
+
+	obsv  *obs.Observer
+	proto string
 
 	stats DriverStats
 }
@@ -40,6 +44,12 @@ func NewDriver(host *node.Host, pl namespace.Placement) *Driver {
 
 // Stats returns a snapshot of driver counters.
 func (d *Driver) Stats() DriverStats { return d.stats }
+
+// SetObserver attaches the observability layer; client-observed latencies
+// are recorded under proto. Nil (the default) records nothing.
+func (d *Driver) SetObserver(o *obs.Observer, proto string) {
+	d.obsv, d.proto = o, proto
+}
 
 // errFrom converts a response's error string back into a typed error.
 func errFrom(m wire.Msg) error {
@@ -65,6 +75,28 @@ func errFrom(m wire.Msg) error {
 // the process's perspective. The returned inode carries stat/lookup
 // payloads.
 func (d *Driver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	if d.obsv == nil {
+		return d.do(p, op, nil)
+	}
+	start := d.host.Sim.Now()
+	if d.obsv.TraceOn() {
+		d.obsv.Emit(start, int(d.host.ID), op.ID, obs.PhaseIssue, op.Kind.String())
+	}
+	var conflicted bool
+	ino, err := d.do(p, op, &conflicted)
+	out := obs.OutcomeComplete
+	switch {
+	case err != nil:
+		out = obs.OutcomeAborted
+	case conflicted:
+		out = obs.OutcomeConflicted
+	}
+	d.obsv.RecordOp(op.Kind, d.proto, out, op.ID, int(d.host.ID),
+		start, d.host.Sim.Now()-start)
+	return ino, err
+}
+
+func (d *Driver) do(p *simrt.Proc, op types.Op, conflicted *bool) (types.Inode, error) {
 	d.stats.Ops++
 	if op.Kind == types.OpRename {
 		// Rename runs as an eager transaction coordinated by the source
@@ -81,7 +113,7 @@ func (d *Driver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 		return d.doLocal(p, op, coord)
 	}
 	d.stats.CrossServer++
-	return d.doCross(p, op, coord, part)
+	return d.doCross(p, op, coord, part, conflicted)
 }
 
 // doSingle routes a read or single-server update to its owner.
@@ -133,7 +165,7 @@ type respState struct {
 // once; the operation completes when the freshest response from each server
 // is in hand (no invalidation outstanding) and the answers agree — or after
 // an L-COM/ALL-NO round when they do not.
-func (d *Driver) doCross(p *simrt.Proc, op types.Op, coord, part types.NodeID) (types.Inode, error) {
+func (d *Driver) doCross(p *simrt.Proc, op types.Op, coord, part types.NodeID, conflicted *bool) (types.Inode, error) {
 	cSub, pSub := types.Split(op)
 	route := d.host.Open(op.ID)
 	defer d.host.Done(op.ID)
@@ -162,6 +194,11 @@ func (d *Driver) doCross(p *simrt.Proc, op types.Op, coord, part types.NodeID) (
 				st = &rp
 			}
 			d.absorb(st, m)
+			// Any invalidation notice or re-executed (epoch > 1) response
+			// means this operation went through conflict machinery.
+			if conflicted != nil && (st.voided || st.epoch > 1) {
+				*conflicted = true
+			}
 		}
 		if !rc.have || !rp.have || rc.voided || rp.voided || lcomSent {
 			continue
@@ -181,6 +218,9 @@ func (d *Driver) doCross(p *simrt.Proc, op types.Op, coord, part types.NodeID) (
 			// commitment; ALL-NO completes the operation (§III.B step 2b).
 			d.stats.Disagreements++
 			lcomSent = true
+			if conflicted != nil {
+				*conflicted = true
+			}
 			d.host.Send(wire.Msg{Type: wire.MsgLCom, To: coord, Op: op.ID, ReplyProc: op.ID.Proc})
 		}
 	}

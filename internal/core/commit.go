@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"cxfs/internal/namespace"
+	"cxfs/internal/obs"
 	"cxfs/internal/simrt"
 	"cxfs/internal/types"
 	"cxfs/internal/wal"
@@ -163,6 +165,16 @@ func (s *Server) runCommit(p *simrt.Proc, req kickReq) {
 			if !co.committing {
 				targets = append(targets, co)
 			}
+		}
+	}
+	if s.cfg.Obs.TraceOn() {
+		now := s.Sim.Now()
+		if req.lazy && (len(targets) > 0 || len(s.flushQ) > 0) {
+			s.cfg.Obs.Emit(now, int(s.ID), types.NilOp, obs.PhaseCommitLazy,
+				fmt.Sprintf("batch=%d flush=%d", len(targets), len(s.flushQ)))
+		} else if !req.lazy && len(targets) > 0 {
+			s.cfg.Obs.Emit(now, int(s.ID), targets[0].id, obs.PhaseCommitImmediate,
+				fmt.Sprintf("batch=%d", len(targets)))
 		}
 	}
 	// Group by participant; each group is one VOTE / COMMIT-REQ / ACK round.

@@ -50,6 +50,7 @@ import (
 
 	"cxfs/internal/namespace"
 	"cxfs/internal/node"
+	"cxfs/internal/obs"
 	"cxfs/internal/simrt"
 	"cxfs/internal/types"
 	"cxfs/internal/wire"
@@ -88,6 +89,10 @@ type Config struct {
 	// cost dominates small backlogs (5KB of valid records still takes 3s),
 	// which is what makes Table V sublinear.
 	RecoveryFreeze time.Duration
+	// Obs receives protocol-phase trace events and latency samples. Nil
+	// (the default) disables all recording at the cost of one pointer
+	// check per site — the hot path is unaffected.
+	Obs *obs.Observer
 }
 
 // DefaultConfig mirrors the paper's experimental defaults.
@@ -390,6 +395,9 @@ func (s *Server) handle(p *simrt.Proc, m wire.Msg) {
 	case wire.MsgOpReq:
 		s.handleLocalOp(p, m)
 	case wire.MsgLCom:
+		if s.cfg.Obs.TraceOn() {
+			s.cfg.Obs.Emit(s.Sim.Now(), int(s.ID), m.Op, obs.PhaseLCom, "")
+		}
 		s.requestCommitFrom(m.Op, true, m.From)
 	case wire.MsgConflictNotify:
 		s.requestCommitFrom(m.Op, false, m.From)

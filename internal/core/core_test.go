@@ -25,7 +25,7 @@ func build(servers int, mutate func(*cluster.Options)) *cluster.Cluster {
 	if mutate != nil {
 		mutate(&o)
 	}
-	return cluster.New(o)
+	return cluster.MustNew(o)
 }
 
 // crossCreate issues a create guaranteed to be cross-server with a chosen

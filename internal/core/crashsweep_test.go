@@ -54,7 +54,7 @@ func runCrashSweep(t *testing.T, crashAt time.Duration) {
 	o.Cx.VoteWait = 20 * time.Millisecond
 	o.Cx.RecoveryFreeze = 5 * time.Millisecond
 	o.Hardware.LogMaxBytes = 0
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 
 	const workers = 4

@@ -234,7 +234,7 @@ func TestConflictDuringResultAppendWindow(t *testing.T) {
 	o.Cx.Timeout = 0 // no trigger: only conflict-driven commitment can save us
 	o.Cx.Threshold = 0
 	o.Hardware.LogMaxBytes = 0
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 	done := false
 	c.Sim.Spawn("t", func(p *simrt.Proc) {

@@ -98,7 +98,7 @@ func TestDisorderedConflictInvalidatesAndReexecutes(t *testing.T) {
 	o.ClientHosts = 4
 	o.ProcsPerHost = 2
 	o.Cx.Timeout = time.Hour
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 
 	var invalidations, supersedes uint64
@@ -189,7 +189,7 @@ func TestDisorderedStressManyRounds(t *testing.T) {
 	o.ClientHosts = 4
 	o.ProcsPerHost = 2
 	o.Cx.Timeout = 500 * time.Millisecond
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 
 	c.Sim.Spawn("scenario", func(p *simrt.Proc) {

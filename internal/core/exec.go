@@ -2,6 +2,7 @@ package core
 
 import (
 	"cxfs/internal/namespace"
+	"cxfs/internal/obs"
 	"cxfs/internal/simrt"
 	"cxfs/internal/types"
 	"cxfs/internal/wal"
@@ -52,6 +53,10 @@ func (s *Server) handleSubOp(p *simrt.Proc, m wire.Msg) {
 // launches an immediate commitment for that operation (§III.C step 2).
 func (s *Server) block(m wire.Msg, holder types.OpID, epoch uint32) {
 	s.stats.Conflicts++
+	if s.cfg.Obs.TraceOn() {
+		s.cfg.Obs.Emit(s.Sim.Now(), int(s.ID), m.Sub.Op, obs.PhaseConflictOrdered,
+			"behind "+holder.String())
+	}
 	br := &blockedReq{msg: m, holder: holder, epoch: epoch}
 	s.waiters[holder] = append(s.waiters[holder], br)
 	if m.Sub.Kind.CrossServer() {
@@ -84,8 +89,13 @@ func (s *Server) unblock(br *blockedReq) {
 // replies with the conflict hint and execution epoch.
 func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uint32) {
 	sub := m.Sub
+	execStart := s.Sim.Now()
 	s.ExecCPU(p)
 	res := s.Shard.Exec(sub, s.NowNanos())
+	if s.cfg.Obs.TraceOn() {
+		s.cfg.Obs.Span(execStart, s.Sim.Now()-execStart, int(s.ID), sub.Op,
+			obs.PhaseExec, sub.Kind.String()+"/"+sub.Role.String())
+	}
 	cross := sub.Kind.CrossServer()
 
 	// The object becomes active the moment the execution lands in memory —
@@ -104,9 +114,14 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 		if cross {
 			rec.Peer, rec.HasPeer = m.Peer, true
 		}
+		appendStart := s.Sim.Now()
 		s.WAL.Append(p, rec)
 		if s.Crashed() {
 			return
+		}
+		if s.cfg.Obs.TraceOn() {
+			s.cfg.Obs.Span(appendStart, s.Sim.Now()-appendStart, int(s.ID), sub.Op,
+				obs.PhaseAppend, "result-record")
 		}
 	}
 
@@ -159,6 +174,13 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 		} else if po := s.pendingPart[sub.Op]; po != nil {
 			po.lastResp = reply
 		}
+	}
+	if s.cfg.Obs.TraceOn() {
+		detail := "yes"
+		if !res.OK {
+			detail = "no"
+		}
+		s.cfg.Obs.Emit(s.Sim.Now(), int(s.ID), sub.Op, obs.PhaseReply, detail)
 	}
 	s.Send(reply)
 }
@@ -251,6 +273,14 @@ func (s *Server) invalidate(p *simrt.Proc, victim types.OpID, afterOp types.OpID
 		return false
 	}
 	s.stats.Invalidations++
+	if s.cfg.Obs.TraceOn() {
+		// invalidate is only reached from the Enforce branch of vote
+		// resolution, so it marks the disordered-conflict path of §III.C.
+		now := s.Sim.Now()
+		s.cfg.Obs.Emit(now, int(s.ID), victim, obs.PhaseConflictDisordered,
+			"enforced after "+afterOp.String())
+		s.cfg.Obs.Emit(now, int(s.ID), victim, obs.PhaseInvalidate, sub.Kind.String())
+	}
 	if undo.ok {
 		s.rollback(undo.u, undo.imgs)
 	}

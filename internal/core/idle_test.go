@@ -18,7 +18,7 @@ func TestIdleTriggerCommitsDuringQuietPeriods(t *testing.T) {
 	o.ProcsPerHost = 1
 	o.Cx.Timeout = time.Hour // the timeout trigger stays out of the way
 	o.Cx.IdleTrigger = 50 * time.Millisecond
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 	c.Sim.Spawn("t", func(p *simrt.Proc) {
 		pr := c.Proc(0)
@@ -60,7 +60,7 @@ func TestIdleTriggerHoldsOffWhileBusy(t *testing.T) {
 	o.ProcsPerHost = 1
 	o.Cx.Timeout = time.Hour
 	o.Cx.IdleTrigger = 80 * time.Millisecond
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 	c.Sim.Spawn("t", func(p *simrt.Proc) {
 		pr := c.Proc(0)

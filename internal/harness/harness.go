@@ -15,8 +15,8 @@ import (
 	"time"
 
 	"cxfs/internal/cluster"
-	"cxfs/internal/core"
 	"cxfs/internal/metarates"
+	"cxfs/internal/obs"
 	"cxfs/internal/simrt"
 	"cxfs/internal/stats"
 	"cxfs/internal/trace"
@@ -30,6 +30,9 @@ type Config struct {
 	Scale   float64
 	Servers int   // trace-driven experiments (paper: 8)
 	Seed    int64 //
+	// Obs attaches an observability session to every cluster the
+	// experiment builds; nil disables recording.
+	Obs *obs.Observer
 }
 
 // DefaultConfig is the quick-run configuration.
@@ -44,10 +47,11 @@ func (cfg Config) clusterFor(proto cluster.Protocol, mutate func(*cluster.Option
 	o.ClientHosts = 16
 	o.ProcsPerHost = 8
 	o.Seed = cfg.Seed
+	o.Obs = cfg.Obs
 	if mutate != nil {
 		mutate(&o)
 	}
-	return cluster.New(o)
+	return cluster.MustNew(o)
 }
 
 // replay generates and replays one workload on one protocol.
@@ -171,7 +175,7 @@ func recoveryRun(cfg Config, targetBytes int64) time.Duration {
 	o.Seed = cfg.Seed
 	o.Cx.Timeout = 0           // no lazy trigger: the backlog stays pending
 	o.Hardware.LogMaxBytes = 0 // unlimited, we control the size
-	c := cluster.New(o)
+	c := cluster.MustNew(o)
 	defer c.Shutdown()
 
 	var recovery time.Duration
@@ -293,7 +297,7 @@ func Fig6(cfg Config, serverCounts []int, opsPerProc int) ([]Fig6Row, *stats.Tab
 			for _, proto := range []cluster.Protocol{cluster.ProtoSE, cluster.ProtoSEBatched, cluster.ProtoCx} {
 				o := cluster.DefaultOptions(n, proto)
 				o.Seed = cfg.Seed
-				c := cluster.New(o)
+				c := cluster.MustNew(o)
 				res := metarates.Run(c, metarates.Config{Mix: mix, OpsPerProc: opsPerProc})
 				tput[proto] = res.Throughput
 				c.Shutdown()
@@ -344,52 +348,35 @@ func Fig7a(cfg Config, limits []int64) ([]Fig7aRow, *stats.Table) {
 
 // Fig7b samples the valid-records size during a home2 replay with an
 // unlimited log — the paper's Figure 7b (rise to a peak, then periodic
-// drops at every timeout-triggered batch commitment).
+// drops at every timeout-triggered batch commitment). The sampling runs
+// through the generic observability layer: a dedicated observer with
+// SampleEvery set, whose "wal-live-bytes" series is exactly the paper's
+// valid-records quantity (the replayer spawns the cluster sampler
+// automatically).
 func Fig7b(cfg Config, interval time.Duration) (*stats.Series, *stats.Table) {
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
-	series := &stats.Series{Name: "valid-records"}
-	var servers []*core.Server
-	sampler := func(p *simrt.Proc) {
-		for {
-			p.Sleep(interval)
-			var total int64
-			for _, srv := range servers {
-				total += srv.ValidBytes()
-			}
-			series.Add(p.Now(), float64(total))
-		}
-	}
-	_, c := cfg.replayWithSetup("home2", cluster.ProtoCx, func(o *cluster.Options) {
+	// A local observer, not cfg.Obs: this figure needs its own clean series
+	// regardless of what session-wide recording is attached.
+	obsv := obs.New(obs.Options{SampleEvery: interval})
+	_, c := cfg.replay("home2", cluster.ProtoCx, func(o *cluster.Options) {
 		o.Hardware.LogMaxBytes = 0
 		o.Cx.Timeout = 2 * time.Second // scaled-down 10s trigger
-	}, func(cl *cluster.Cluster) { servers = cl.CxSrv }, []func(*simrt.Proc){sampler})
+		o.Obs = obsv
+	}, 0, nil)
 	c.Shutdown()
 
+	series := obsv.Series("wal-live-bytes")
+	if series == nil {
+		series = &stats.Series{Name: "wal-live-bytes"}
+	}
 	tbl := stats.NewTable("Figure 7b: valid-records size over time (home2, unlimited log)",
 		"t", "bytes")
 	for _, pt := range series.Points {
 		tbl.Add(pt.T, fmt.Sprintf("%.0f", pt.V))
 	}
 	return series, tbl
-}
-
-// replayWithSetup is replay plus a hook that sees the cluster before the
-// run starts (for samplers that need server handles).
-func (cfg Config) replayWithSetup(name string, proto cluster.Protocol, mutate func(*cluster.Options), setup func(*cluster.Cluster), background []func(*simrt.Proc)) (trace.Result, *cluster.Cluster) {
-	p, err := trace.ProfileByName(name)
-	if err != nil {
-		panic(err)
-	}
-	tr := trace.Generate(p, cfg.Scale, cfg.Seed)
-	c := cfg.clusterFor(proto, mutate)
-	if setup != nil {
-		setup(c)
-	}
-	r := &trace.Replayer{Trace: tr, C: c, Background: background}
-	res := r.Run()
-	return res, c
 }
 
 // Fig8Row is one injected-conflict level.

@@ -15,7 +15,7 @@ func smallCluster(servers int, proto cluster.Protocol) *cluster.Cluster {
 	return o2cluster(o)
 }
 
-func o2cluster(o cluster.Options) *cluster.Cluster { return cluster.New(o) }
+func o2cluster(o cluster.Options) *cluster.Cluster { return cluster.MustNew(o) }
 
 func TestRunProducesThroughput(t *testing.T) {
 	c := smallCluster(4, cluster.ProtoCx)
@@ -43,7 +43,7 @@ func TestUpdateDominatedFavorsCxMore(t *testing.T) {
 	gain := func(mix Mix) float64 {
 		tput := map[cluster.Protocol]float64{}
 		for _, proto := range []cluster.Protocol{cluster.ProtoSE, cluster.ProtoCx} {
-			c := cluster.New(cluster.DefaultOptions(2, proto))
+			c := cluster.MustNew(cluster.DefaultOptions(2, proto))
 			res := Run(c, Config{Mix: mix, OpsPerProc: 20})
 			tput[proto] = res.Throughput
 			c.Shutdown()

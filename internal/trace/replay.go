@@ -120,6 +120,10 @@ func (r *Replayer) Run() Result {
 	g := simrt.NewGroup(c.Sim)
 	g.Add(t.Profile.Procs)
 
+	if c.Opts.Obs.SamplingOn() {
+		c.Sim.Spawn("replay/sampler", c.SamplerProc())
+	}
+
 	setup := simrt.NewChan[struct{}](c.Sim)
 	c.Sim.Spawn("replay/setup", func(p *simrt.Proc) {
 		pr := c.Proc(0)

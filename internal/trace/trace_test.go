@@ -13,7 +13,7 @@ func testCluster(proto cluster.Protocol) *cluster.Cluster {
 	o := cluster.DefaultOptions(4, proto)
 	o.ClientHosts = 16
 	o.ProcsPerHost = 8 // 128 processes, enough for lair62b
-	return cluster.New(o)
+	return cluster.MustNew(o)
 }
 
 // scaleFor caps a profile at roughly n operations.

@@ -58,12 +58,11 @@ func (mc *MsgConn) ReadMsg() (wire.Msg, error) {
 	if n > maxFrame {
 		return wire.Msg{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, 4+n)
-	copy(buf, hdr[:])
-	if _, err := io.ReadFull(mc.r, buf[4:]); err != nil {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(mc.r, buf); err != nil {
 		return wire.Msg{}, fmt.Errorf("transport: short frame: %w", err)
 	}
-	return wire.Decode(buf)
+	return wire.DecodeBody(buf)
 }
 
 // Close closes the underlying stream.

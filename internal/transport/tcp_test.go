@@ -3,8 +3,10 @@ package transport
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"cxfs/internal/types"
 	"cxfs/internal/wire"
@@ -174,4 +176,54 @@ func TestMsgServerCloseUnblocksClients(t *testing.T) {
 	if err := <-readDone; err == nil {
 		t.Error("read returned nil error after server close")
 	}
+}
+
+// TestMsgServerCloseLeaksNoGoroutines opens a server, hammers it from
+// several clients, closes it, and checks the goroutine count settles back
+// to where it started: Close must reap the accept loop and every per-client
+// handler, even ones blocked mid-read.
+func TestMsgServerCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv, err := ListenMsg("127.0.0.1:0", func(m wire.Msg) *wire.Msg {
+		reply := wire.Msg{Type: wire.MsgOpResp, Op: m.Op, OK: true}
+		return &reply
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]*MsgConn, 0, 4)
+	for c := 0; c < 4; c++ {
+		conn, err := DialMsg(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, conn)
+		if err := conn.WriteMsg(&wire.Msg{Type: wire.MsgOpReq, Op: types.OpID{Seq: uint64(c)}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.ReadMsg(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leave the connections open so the handlers are blocked in ReadMsg
+	// when Close runs — the leak-prone state.
+	srv.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+
+	// The runtime needs a moment to unwind the reaped goroutines; poll
+	// rather than sleep a fixed (flaky) amount.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
 }

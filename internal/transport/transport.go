@@ -15,7 +15,6 @@
 package transport
 
 import (
-	"fmt"
 	"time"
 
 	"cxfs/internal/simrt"
@@ -48,6 +47,13 @@ type Stats struct {
 	Messages uint64
 	Bytes    int64
 	ByType   [wire.NumMsgTypes]uint64
+	// DroppedDown counts messages lost because the destination was crashed
+	// at delivery time (the failure model of §III.D: the network loses
+	// them, senders discover the crash by timeout).
+	DroppedDown uint64
+	// DroppedUnroutable counts messages addressed to a node that was never
+	// registered — a stale route, not a fatal simulation error.
+	DroppedUnroutable uint64
 }
 
 // Total returns the total message count (convenience for Table IV).
@@ -55,7 +61,12 @@ func (s Stats) Total() uint64 { return s.Messages }
 
 // Sub returns s minus earlier, for before/after snapshots.
 func (s Stats) Sub(earlier Stats) Stats {
-	out := Stats{Messages: s.Messages - earlier.Messages, Bytes: s.Bytes - earlier.Bytes}
+	out := Stats{
+		Messages:          s.Messages - earlier.Messages,
+		Bytes:             s.Bytes - earlier.Bytes,
+		DroppedDown:       s.DroppedDown - earlier.DroppedDown,
+		DroppedUnroutable: s.DroppedUnroutable - earlier.DroppedUnroutable,
+	}
 	for i := range s.ByType {
 		out.ByType[i] = s.ByType[i] - earlier.ByType[i]
 	}
@@ -111,7 +122,10 @@ func (n *Net) Down(node types.NodeID) bool { return n.down[node] }
 func (n *Net) Send(msg wire.Msg) {
 	box, ok := n.boxes[msg.To]
 	if !ok {
-		panic(fmt.Sprintf("transport: send to unregistered node %v", msg.To))
+		// A stale route (e.g. a retry addressed to a node that never came
+		// up) is a lost message, not a simulation bug: count and drop.
+		n.stats.DroppedUnroutable++
+		return
 	}
 	n.stats.Messages++
 	if n.tap != nil {
@@ -126,7 +140,8 @@ func (n *Net) Send(msg wire.Msg) {
 		time.Duration(size*int64(time.Second)/n.params.Bandwidth)
 	n.sim.After(delay, func() {
 		if n.down[msg.To] {
-			return // dropped at the dead NIC
+			n.stats.DroppedDown++ // dropped at the dead NIC
+			return
 		}
 		box.Send(msg)
 	})

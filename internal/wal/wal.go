@@ -126,6 +126,7 @@ type WAL struct {
 
 	waiters     []fullWaiter
 	fullHandler func()
+	pruneHook   func(op types.OpID, bytes int64)
 	crashed     bool
 
 	stats Stats
@@ -141,6 +142,11 @@ func New(s *simrt.Sim, d *disk.Disk, base, maxBytes int64) *WAL {
 // blocking) whenever an append must wait for space. The Cx core uses it to
 // kick an immediate batch commitment so pruning can proceed.
 func (w *WAL) SetFullHandler(fn func()) { w.fullHandler = fn }
+
+// SetPruneHook registers fn to be invoked after each successful prune with
+// the op and the bytes it released. The cluster wires the observability
+// trace through it so the WAL stays free of higher-layer imports.
+func (w *WAL) SetPruneHook(fn func(op types.OpID, bytes int64)) { w.pruneHook = fn }
 
 // Stats returns a snapshot of accumulated statistics.
 func (w *WAL) Stats() Stats { return w.stats }
@@ -261,6 +267,9 @@ func (w *WAL) Prune(op types.OpID) {
 	w.live -= e.bytes
 	delete(w.index, op)
 	w.stats.Pruned++
+	if w.pruneHook != nil {
+		w.pruneHook(op, e.bytes)
+	}
 	// Compact the ordered view lazily: drop records whose op left the index.
 	if len(w.ordered) > 0 && len(w.index)*4 < len(w.ordered) {
 		kept := w.ordered[:0]

@@ -211,14 +211,21 @@ func Encode(m *Msg) []byte {
 
 // Decode parses one framed message.
 func Decode(buf []byte) (Msg, error) {
-	var m Msg
 	if len(buf) < 4 {
-		return m, fmt.Errorf("wire: frame too short")
+		return Msg{}, fmt.Errorf("wire: frame too short")
 	}
 	if int(binary.LittleEndian.Uint32(buf[0:4])) != len(buf)-4 {
-		return m, fmt.Errorf("wire: frame length mismatch")
+		return Msg{}, fmt.Errorf("wire: frame length mismatch")
 	}
-	d := decoder{b: buf, pos: 4}
+	return DecodeBody(buf[4:])
+}
+
+// DecodeBody parses a message payload without its 4-byte length frame.
+// Stream transports that have already consumed the frame header decode
+// the payload in place instead of re-assembling the full frame.
+func DecodeBody(body []byte) (Msg, error) {
+	var m Msg
+	d := decoder{b: body}
 	m.Type = MsgType(d.u8())
 	m.From = types.NodeID(d.u32())
 	m.To = types.NodeID(d.u32())
@@ -274,8 +281,8 @@ func Decode(buf []byte) (Msg, error) {
 	if d.err != nil {
 		return m, d.err
 	}
-	if d.pos != len(buf) {
-		return m, fmt.Errorf("wire: %d trailing bytes", len(buf)-d.pos)
+	if d.pos != len(body) {
+		return m, fmt.Errorf("wire: %d trailing bytes", len(body)-d.pos)
 	}
 	return m, nil
 }
