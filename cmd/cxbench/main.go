@@ -7,9 +7,13 @@
 //	cxbench -exp fig5 -scale 0.01   # one experiment, bigger replay
 //	cxbench -exp table5 -servers 8
 //	cxbench -exp fig5 -hist -trace /tmp/fig5.trace
+//	cxbench -exp chaos -seed 7 -duration 2s -faultrate 1.5
 //
 // Experiments: table2, table4, table5, fig4, fig5, fig6, fig7a, fig7b,
-// fig8, fig9a, fig9b, protocols (extension: 2PC and CE in the comparison).
+// fig8, fig9a, fig9b, protocols (extension: 2PC and CE in the comparison),
+// chaos (fault-injection run: crashes, crash-points, partitions, lossy
+// links; prints the nemesis schedule and a deterministic fingerprint —
+// the same seed and flags always reproduce the identical report).
 // Each prints a table whose rows mirror the paper's; EXPERIMENTS.md records
 // the paper-vs-measured comparison.
 //
@@ -28,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"cxfs/internal/chaos"
 	"cxfs/internal/cluster"
 	"cxfs/internal/harness"
 	"cxfs/internal/obs"
@@ -40,12 +45,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|latency|triggers|all)")
+		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|latency|triggers|chaos|all)")
 		scale    = flag.Float64("scale", 0.004, "fraction of each paper trace's op count to replay")
 		servers  = flag.Int("servers", 8, "metadata servers for trace-driven experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		hist     = flag.Bool("hist", false, "print per-operation latency quantiles (p50/p95/p99) after the experiments")
 		traceOut = flag.String("trace", "", "write protocol-phase events as Chrome trace_event JSON to this file")
+		duration = flag.Duration("duration", 1500*time.Millisecond, "chaos: nemesis active window")
+		fltRate  = flag.Float64("faultrate", 1.0, "chaos: scale factor on the lossy-link probabilities")
 	)
 	flag.Parse()
 
@@ -55,13 +62,14 @@ func main() {
 	}
 
 	cfg := harness.Config{Scale: *scale, Servers: *servers, Seed: *seed, Obs: obsv}
+	ccfg := chaos.Config{Seed: *seed, Duration: *duration, FaultRate: *fltRate}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "latency", "triggers"}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := run(id, cfg); err != nil {
+		if err := run(id, cfg, ccfg); err != nil {
 			fmt.Fprintf(os.Stderr, "cxbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -79,8 +87,15 @@ func main() {
 	}
 }
 
-func run(id string, cfg harness.Config) error {
+func run(id string, cfg harness.Config, ccfg chaos.Config) error {
 	switch id {
+	case "chaos":
+		rep := chaos.Run(ccfg)
+		fmt.Print(rep.String())
+		fmt.Printf("fingerprint=%s\n", rep.Fingerprint())
+		if !rep.Consistent() {
+			return fmt.Errorf("chaos run with seed %d is inconsistent (schedule above)", ccfg.Seed)
+		}
 	case "table2":
 		_, tbl := harness.Table2(cfg)
 		fmt.Println(tbl)

@@ -27,9 +27,84 @@ package baseline
 import (
 	"sort"
 
+	"cxfs/internal/node"
 	"cxfs/internal/simrt"
 	"cxfs/internal/types"
+	"cxfs/internal/wire"
 )
+
+// dupGuard gives a baseline server at-most-once semantics for retried
+// client requests: a completed operation answers from a bounded reply
+// cache, and a duplicate of one still executing is dropped (the original
+// owns the eventual reply). Cx has richer pending-state to consult; the
+// baselines just need this.
+type dupGuard struct {
+	inflight map[types.OpID]bool
+	replies  map[types.OpID]wire.Msg
+	order    []types.OpID
+}
+
+const dupCacheCap = 8192
+
+func newDupGuard() *dupGuard {
+	return &dupGuard{inflight: make(map[types.OpID]bool), replies: make(map[types.OpID]wire.Msg)}
+}
+
+// cached returns the recorded reply of a completed operation.
+func (g *dupGuard) cached(op types.OpID) (wire.Msg, bool) {
+	m, ok := g.replies[op]
+	return m, ok
+}
+
+// begin marks op executing; false means a duplicate (already inflight).
+func (g *dupGuard) begin(op types.OpID) bool {
+	if g.inflight[op] {
+		return false
+	}
+	g.inflight[op] = true
+	return true
+}
+
+// finish records the final reply and clears the inflight mark.
+func (g *dupGuard) finish(op types.OpID, reply wire.Msg) {
+	delete(g.inflight, op)
+	if _, exists := g.replies[op]; !exists {
+		if len(g.order) >= dupCacheCap {
+			drop := g.order[0]
+			g.order = g.order[1:]
+			delete(g.replies, drop)
+		}
+		g.order = append(g.order, op)
+	}
+	g.replies[op] = reply
+}
+
+// abandon clears the inflight mark without caching (crash mid-execution);
+// a retry after recovery re-executes. Safe to call after finish.
+func (g *dupGuard) abandon(op types.OpID) { delete(g.inflight, op) }
+
+// reset drops all volatile guard state (server reboot).
+func (g *dupGuard) reset() {
+	g.inflight = make(map[types.OpID]bool)
+	g.replies = make(map[types.OpID]wire.Msg)
+	g.order = nil
+}
+
+// rpcCall sends req and waits for a reply on route, retransmitting per the
+// retry policy; false means the attempt budget ran out (outcome unknown).
+func rpcCall(p *simrt.Proc, host *node.Host, rp types.RetryPolicy, route *simrt.Chan[wire.Msg], req wire.Msg) (wire.Msg, bool) {
+	if !rp.Enabled() {
+		host.Send(req)
+		return route.Recv(p), true
+	}
+	for attempt := 0; attempt < rp.MaxAttempts(); attempt++ {
+		host.Send(req)
+		if m, ok := route.RecvTimeout(p, rp.WaitFor(attempt)); ok {
+			return m, true
+		}
+	}
+	return wire.Msg{}, false
+}
 
 // lockTable serializes conflicting operations inside the 2PC and CE
 // servers (their correctness depends on exclusive access for the duration

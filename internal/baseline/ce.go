@@ -25,6 +25,9 @@ type CEServer struct {
 
 	migrateCh map[types.OpID]*simrt.Chan[wire.Msg] // coordinator awaiting rows/acks
 	migrated  map[types.OpID][]types.ObjKey        // participant: keys lent out
+
+	// guard suppresses duplicate (retried) client operations.
+	guard *dupGuard
 }
 
 // NewCEServer builds a CE server.
@@ -34,6 +37,7 @@ func NewCEServer(base *node.Base, pl namespace.Placement) *CEServer {
 		locks:     newLockTable(base.Sim),
 		migrateCh: make(map[types.OpID]*simrt.Chan[wire.Msg]),
 		migrated:  make(map[types.OpID][]types.ObjKey),
+		guard:     newDupGuard(),
 	}
 }
 
@@ -66,6 +70,17 @@ func (s *CEServer) coordinate(p *simrt.Proc, m wire.Msg) {
 		s.ServeReaddir(m)
 		return
 	}
+	if op.Kind.Mutating() {
+		if cached, ok := s.guard.cached(op.ID); ok {
+			cached.To = m.From
+			s.Send(cached)
+			return
+		}
+		if !s.guard.begin(op.ID) {
+			return // duplicate of an operation still executing
+		}
+		defer s.guard.abandon(op.ID)
+	}
 	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
 
 	if !op.Kind.CrossServer() {
@@ -79,9 +94,13 @@ func (s *CEServer) coordinate(p *simrt.Proc, m wire.Msg) {
 		if res.OK && sub.Action.Mutating() {
 			s.KV.SyncKeys(p, res.Rows)
 		}
-		if !s.Crashed() {
-			s.Send(reply)
+		if s.CrashPoint("ce:after-exec", op.ID) {
+			return
 		}
+		if op.Kind.Mutating() {
+			s.guard.finish(op.ID, reply)
+		}
+		s.Send(reply)
 		return
 	}
 
@@ -180,12 +199,29 @@ func (s *CEServer) coordinate(p *simrt.Proc, m wire.Msg) {
 	} else {
 		reply.Attr = resC.Inode
 	}
+	s.guard.finish(op.ID, reply)
 	s.Send(reply)
 }
 
 // lendRows ships the requested rows to the coordinator and locks them here
 // until they come back.
 func (s *CEServer) lendRows(p *simrt.Proc, m wire.Msg) {
+	if _, lent := s.migrated[m.Op]; lent {
+		// Retransmitted MigrateReq: the rows are already lent out; resend the
+		// current copies without re-acquiring the locks the loan holds.
+		rows := make([]wire.Row, 0, len(m.Keys))
+		for _, key := range m.Keys {
+			if v, ok := s.KV.Get(key); ok {
+				cp := make([]byte, len(v))
+				copy(cp, v)
+				rows = append(rows, wire.Row{Key: key, Val: cp})
+			} else {
+				rows = append(rows, wire.Row{Key: key, Val: nil})
+			}
+		}
+		s.Send(wire.Msg{Type: wire.MsgMigrateResp, To: m.From, Op: m.Op, Rows: rows})
+		return
+	}
 	// Row-key strings are what travel; the lock table works on ObjKeys, so
 	// lock a synthetic per-row key derived from each string.
 	objKeys := rowLockKeys(m.Keys)
@@ -248,8 +284,9 @@ func rowLockKeys(rows []string) []types.ObjKey {
 
 // CEDriver is the CE client: like 2PC, one round trip to the coordinator.
 type CEDriver struct {
-	host *node.Host
-	pl   namespace.Placement
+	host  *node.Host
+	pl    namespace.Placement
+	retry types.RetryPolicy
 	observed
 }
 
@@ -258,12 +295,15 @@ func NewCEDriver(host *node.Host, pl namespace.Placement) *CEDriver {
 	return &CEDriver{host: host, pl: pl}
 }
 
+// SetRetry installs the per-RPC timeout/retry policy (zero disables).
+func (d *CEDriver) SetRetry(rp types.RetryPolicy) { d.retry = rp }
+
 // Do executes one metadata operation through the coordinator.
 func (d *CEDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	return d.record(d.host, op, func() (types.Inode, error) {
 		if !op.Kind.CrossServer() {
-			return singleServerOp(p, d.host, d.pl, op)
+			return singleServerOp(p, d.host, d.pl, d.retry, op)
 		}
-		return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name))
+		return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name), d.retry)
 	})
 }

@@ -34,6 +34,9 @@ type SEServer struct {
 
 	// localOps await the batched flush (batched mode only).
 	localOps []localFlush
+
+	// guard suppresses duplicate (retried) mutating requests.
+	guard *dupGuard
 }
 
 type localFlush struct {
@@ -52,6 +55,7 @@ func NewSEServer(base *node.Base, pl namespace.Placement, batched bool, flushTim
 	return &SEServer{
 		Base: base, pl: pl, batched: batched, flushT: flushTimeout,
 		pendingUndo: make(map[types.OpID]*namespace.Undo),
+		guard:       newDupGuard(),
 	}
 }
 
@@ -125,11 +129,23 @@ func (s *SEServer) persist(p *simrt.Proc, id types.OpID, sub types.SubOp, res na
 
 func (s *SEServer) handleSubOp(p *simrt.Proc, m wire.Msg) {
 	sub := m.Sub
+	mutating := sub.Action.Mutating()
+	if mutating {
+		if cached, ok := s.guard.cached(sub.Op); ok {
+			cached.To = m.From
+			s.Send(cached)
+			return
+		}
+		if !s.guard.begin(sub.Op) {
+			return // duplicate of an execution still in flight
+		}
+		defer s.guard.abandon(sub.Op)
+	}
 	s.ExecCPU(p)
 	res := s.Shard.Exec(sub, s.NowNanos())
-	if res.OK && sub.Action.Mutating() {
+	if res.OK && mutating {
 		s.persist(p, sub.Op, sub, res)
-		if s.Crashed() {
+		if s.CrashPoint("se:after-persist", sub.Op) {
 			return
 		}
 		if sub.Kind.CrossServer() && sub.Role == types.RoleParticipant {
@@ -139,6 +155,9 @@ func (s *SEServer) handleSubOp(p *simrt.Proc, m wire.Msg) {
 	reply := wire.Msg{Type: wire.MsgSubOpResp, To: m.From, Op: sub.Op, OK: res.OK, Attr: res.Inode, Epoch: 1}
 	if res.Err != nil {
 		reply.Err = res.Err.Error()
+	}
+	if mutating {
+		s.guard.finish(sub.Op, reply)
 	}
 	s.Send(reply)
 }
@@ -180,6 +199,17 @@ func (s *SEServer) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 		s.ServeReaddir(m)
 		return
 	}
+	if op.Kind.Mutating() {
+		if cached, ok := s.guard.cached(op.ID); ok {
+			cached.To = m.From
+			s.Send(cached)
+			return
+		}
+		if !s.guard.begin(op.ID) {
+			return
+		}
+		defer s.guard.abandon(op.ID)
+	}
 	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
 	s.ExecCPU(p)
 	if op.Kind.CrossServer() {
@@ -216,14 +246,18 @@ func (s *SEServer) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 	if s.Crashed() {
 		return
 	}
+	if op.Kind.Mutating() {
+		s.guard.finish(op.ID, reply)
+	}
 	s.Send(reply)
 }
 
 // SEDriver is the client side of Serial Execution: participant first, then
 // coordinator, compensating with CLEAR on a late failure (§II.B, Fig 1b).
 type SEDriver struct {
-	host *node.Host
-	pl   namespace.Placement
+	host  *node.Host
+	pl    namespace.Placement
+	retry types.RetryPolicy
 	observed
 }
 
@@ -232,6 +266,9 @@ func NewSEDriver(host *node.Host, pl namespace.Placement) *SEDriver {
 	return &SEDriver{host: host, pl: pl}
 }
 
+// SetRetry installs the per-RPC timeout/retry policy (zero = block forever).
+func (d *SEDriver) SetRetry(rp types.RetryPolicy) { d.retry = rp }
+
 // Do executes one metadata operation serially.
 func (d *SEDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	return d.record(d.host, op, func() (types.Inode, error) { return d.do(p, op) })
@@ -239,41 +276,80 @@ func (d *SEDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 
 func (d *SEDriver) do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	if !op.Kind.CrossServer() {
-		return singleServerOp(p, d.host, d.pl, op)
+		return singleServerOp(p, d.host, d.pl, d.retry, op)
 	}
 	coord := d.pl.CoordinatorFor(op.Parent, op.Name)
 	part := d.pl.ParticipantFor(op.Ino)
 	if coord == part {
-		return localOpCall(p, d.host, op, coord)
+		return localOpCall(p, d.host, op, coord, d.retry)
 	}
 	cSub, pSub := types.Split(op)
 	route := d.host.Open(op.ID)
 	defer d.host.Done(op.ID)
 
 	// Step 1: participant executes first.
-	d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: op.ID, Sub: pSub, Peer: coord, ReplyProc: op.ID.Proc})
-	m := route.Recv(p)
+	m, ok := seCall(p, d.host, d.retry, route, wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: op.ID, Sub: pSub, Peer: coord, ReplyProc: op.ID.Proc})
+	if !ok {
+		return types.Inode{}, types.ErrTimeout
+	}
 	if !m.OK {
 		return types.Inode{}, errString(m.Err)
 	}
 	// Step 2: then the coordinator.
-	d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: coord, Op: op.ID, Sub: cSub, Peer: part, ReplyProc: op.ID.Proc})
-	m = route.Recv(p)
+	m, ok = seCall(p, d.host, d.retry, route, wire.Msg{Type: wire.MsgSubOpReq, To: coord, Op: op.ID, Sub: cSub, Peer: part, ReplyProc: op.ID.Proc})
+	if !ok {
+		// The participant's half may be durable with no withdrawal possible:
+		// exactly SE's documented orphan window. Best-effort CLEAR.
+		seCall(p, d.host, d.retry, route, wire.Msg{Type: wire.MsgClear, To: part, Op: op.ID, ReplyProc: op.ID.Proc})
+		return types.Inode{}, types.ErrTimeout
+	}
 	if m.OK {
 		return m.Attr, nil
 	}
 	// Compensate: CLEAR the participant's execution.
 	err := errString(m.Err)
-	d.host.Send(wire.Msg{Type: wire.MsgClear, To: part, Op: op.ID, ReplyProc: op.ID.Proc})
-	route.Recv(p) // CLEAR ack
+	seCall(p, d.host, d.retry, route, wire.Msg{Type: wire.MsgClear, To: part, Op: op.ID, ReplyProc: op.ID.Proc})
 	return types.Inode{}, err
+}
+
+// seCall sends req and awaits the reply from the addressed server,
+// retransmitting per the policy and discarding stray responses from the
+// operation's other leg (late duplicates under faults).
+func seCall(p *simrt.Proc, host *node.Host, rp types.RetryPolicy, route *simrt.Chan[wire.Msg], req wire.Msg) (wire.Msg, bool) {
+	if !rp.Enabled() {
+		host.Send(req)
+		for {
+			m := route.Recv(p)
+			if m.From == req.To {
+				return m, true
+			}
+		}
+	}
+	for attempt := 0; attempt < rp.MaxAttempts(); attempt++ {
+		host.Send(req)
+		deadline := p.Now() + rp.WaitFor(attempt)
+		for {
+			remaining := deadline - p.Now()
+			if remaining <= 0 {
+				break
+			}
+			m, ok := route.RecvTimeout(p, remaining)
+			if !ok {
+				break
+			}
+			if m.From == req.To {
+				return m, true
+			}
+		}
+	}
+	return wire.Msg{}, false
 }
 
 // Shared client helpers -----------------------------------------------------
 
 // singleServerOp routes a read or single-server update to its owner server
 // as an OpReq (SE, 2PC, and CE all use the plain local path for these).
-func singleServerOp(p *simrt.Proc, host *node.Host, pl namespace.Placement, op types.Op) (types.Inode, error) {
+func singleServerOp(p *simrt.Proc, host *node.Host, pl namespace.Placement, rp types.RetryPolicy, op types.Op) (types.Inode, error) {
 	var target types.NodeID
 	switch op.Kind {
 	case types.OpLookup:
@@ -281,15 +357,18 @@ func singleServerOp(p *simrt.Proc, host *node.Host, pl namespace.Placement, op t
 	default:
 		target = pl.ParticipantFor(op.Ino)
 	}
-	return localOpCall(p, host, op, target)
+	return localOpCall(p, host, op, target, rp)
 }
 
-// localOpCall sends a whole op to one server and awaits the response.
-func localOpCall(p *simrt.Proc, host *node.Host, op types.Op, server types.NodeID) (types.Inode, error) {
+// localOpCall sends a whole op to one server and awaits the response,
+// retransmitting per the retry policy.
+func localOpCall(p *simrt.Proc, host *node.Host, op types.Op, server types.NodeID, rp types.RetryPolicy) (types.Inode, error) {
 	route := host.Open(op.ID)
 	defer host.Done(op.ID)
-	host.Send(wire.Msg{Type: wire.MsgOpReq, To: server, Op: op.ID, FullOp: op, ReplyProc: op.ID.Proc})
-	m := route.Recv(p)
+	m, ok := rpcCall(p, host, rp, route, wire.Msg{Type: wire.MsgOpReq, To: server, Op: op.ID, FullOp: op, ReplyProc: op.ID.Proc})
+	if !ok {
+		return types.Inode{}, types.ErrTimeout
+	}
 	if m.OK {
 		return m.Attr, nil
 	}

@@ -28,6 +28,9 @@ type TwoPCServer struct {
 
 	// Participant-side pending executions awaiting the decision.
 	pendingPart map[types.OpID]*pendingExec
+
+	// guard suppresses duplicate (retried) client transactions.
+	guard *dupGuard
 }
 
 type pendingExec struct {
@@ -46,6 +49,7 @@ func NewTwoPCServer(base *node.Base, pl namespace.Placement) *TwoPCServer {
 		voteCh:      make(map[types.OpID]*simrt.Chan[wire.Msg]),
 		ackCh:       make(map[types.OpID]*simrt.Chan[wire.Msg]),
 		pendingPart: make(map[types.OpID]*pendingExec),
+		guard:       newDupGuard(),
 	}
 }
 
@@ -82,6 +86,17 @@ func (s *TwoPCServer) coordinate(p *simrt.Proc, m wire.Msg) {
 		s.ServeReaddir(m)
 		return
 	}
+	if op.Kind.Mutating() {
+		if cached, ok := s.guard.cached(op.ID); ok {
+			cached.To = m.From
+			s.Send(cached)
+			return
+		}
+		if !s.guard.begin(op.ID) {
+			return // duplicate of a transaction still running (or queued on locks)
+		}
+		defer s.guard.abandon(op.ID)
+	}
 	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
 
 	if !op.Kind.CrossServer() {
@@ -95,9 +110,13 @@ func (s *TwoPCServer) coordinate(p *simrt.Proc, m wire.Msg) {
 		if res.OK && sub.Action.Mutating() {
 			s.KV.SyncKeys(p, res.Rows)
 		}
-		if !s.Crashed() {
-			s.Send(reply)
+		if s.CrashPoint("2pc:after-exec", op.ID) {
+			return
 		}
+		if op.Kind.Mutating() {
+			s.guard.finish(op.ID, reply)
+		}
+		s.Send(reply)
 		return
 	}
 
@@ -152,7 +171,7 @@ func (s *TwoPCServer) coordinate(p *simrt.Proc, m wire.Msg) {
 		decType = wal.RecCommit
 	}
 	s.WAL.Append(p, wal.Record{Type: decType, Op: op.ID, Role: types.RoleCoordinator})
-	if s.Crashed() {
+	if s.CrashPoint("2pc:after-decision", op.ID) {
 		return
 	}
 
@@ -195,11 +214,18 @@ func (s *TwoPCServer) coordinate(p *simrt.Proc, m wire.Msg) {
 	} else {
 		reply.Attr = resC.Inode
 	}
+	s.guard.finish(op.ID, reply)
 	s.Send(reply)
 }
 
 // participantVote executes the assigned sub-op, logs, and votes (phase 1).
 func (s *TwoPCServer) participantVote(p *simrt.Proc, m wire.Msg) {
+	if pe := s.pendingPart[m.Op]; pe != nil {
+		// Retransmitted VOTE: answer from the pending execution instead of
+		// re-acquiring locks it already holds.
+		s.Send(wire.Msg{Type: wire.MsgVoteResp, To: m.From, Op: m.Op, OK: pe.ok})
+		return
+	}
 	sub := m.Sub
 	keys := sub.Keys()
 	s.locks.acquire(p, keys)
@@ -226,7 +252,7 @@ func (s *TwoPCServer) participantVote(p *simrt.Proc, m wire.Msg) {
 func (s *TwoPCServer) participantDecide(p *simrt.Proc, m wire.Msg) {
 	commit := len(m.Decisions) > 0 && m.Decisions[0].Commit
 	s.applyDecision(p, m.Op, commit)
-	if s.Crashed() {
+	if s.CrashPoint("2pc:before-ack", m.Op) {
 		return
 	}
 	s.Send(wire.Msg{Type: wire.MsgAck, To: m.From, Op: m.Op})
@@ -257,8 +283,9 @@ func (s *TwoPCServer) applyDecision(p *simrt.Proc, id types.OpID, commit bool) {
 // TwoPCDriver is the 2PC client: one request to the coordinator, one
 // response when the transaction has fully committed or aborted.
 type TwoPCDriver struct {
-	host *node.Host
-	pl   namespace.Placement
+	host  *node.Host
+	pl    namespace.Placement
+	retry types.RetryPolicy
 	observed
 }
 
@@ -267,12 +294,15 @@ func NewTwoPCDriver(host *node.Host, pl namespace.Placement) *TwoPCDriver {
 	return &TwoPCDriver{host: host, pl: pl}
 }
 
+// SetRetry installs the per-RPC timeout/retry policy (zero disables).
+func (d *TwoPCDriver) SetRetry(rp types.RetryPolicy) { d.retry = rp }
+
 // Do executes one metadata operation through the coordinator.
 func (d *TwoPCDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	return d.record(d.host, op, func() (types.Inode, error) {
 		if !op.Kind.CrossServer() {
-			return singleServerOp(p, d.host, d.pl, op)
+			return singleServerOp(p, d.host, d.pl, d.retry, op)
 		}
-		return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name))
+		return localOpCall(p, d.host, op, d.pl.CoordinatorFor(op.Parent, op.Name), d.retry)
 	})
 }

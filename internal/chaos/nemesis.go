@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cxfs/internal/core"
+	"cxfs/internal/simrt"
+	"cxfs/internal/transport"
+	"cxfs/internal/types"
+)
+
+// nemesis injects faults for the configured window. It runs as one proc and
+// executes crash cycles inline (crash → sleep → reboot → recover), so at
+// most one server is down from a direct action at a time; partitions and
+// lossy-link windows overlap freely via timers, and the double-failure case
+// is exercised separately by a scripted test.
+type nemesis struct {
+	h       *harness
+	rng     *rand.Rand
+	faultOn bool
+	halt    bool
+	done    bool
+}
+
+func (n *nemesis) run(p *simrt.Proc) {
+	defer func() { n.done = true }()
+	h := n.h
+	end := p.Now() + h.cfg.Duration
+	for p.Now() < end && !n.halt {
+		p.Sleep(time.Duration(5+n.rng.Intn(20)) * time.Millisecond)
+		if n.halt {
+			return
+		}
+		switch n.rng.Intn(10) {
+		case 0, 1:
+			n.crashCycle(p, false)
+		case 2, 3:
+			n.crashCycle(p, true)
+		case 4, 5, 6:
+			n.partition()
+		default:
+			n.faultWindow()
+		}
+	}
+}
+
+// pickServer returns a server not currently in a crash cycle, or -1.
+func (n *nemesis) pickServer() int {
+	var free []int
+	for i, b := range n.h.busy {
+		if !b {
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return -1
+	}
+	return free[n.rng.Intn(len(free))]
+}
+
+// crashCycle crashes one server — directly, or by arming a protocol
+// crash-point and waiting for live traffic to trip it — then reboots it and
+// runs §V recovery.
+func (n *nemesis) crashCycle(p *simrt.Proc, viaPoint bool) {
+	h := n.h
+	srv := n.pickServer()
+	if srv < 0 {
+		return
+	}
+	h.busy[srv] = true
+	defer func() { h.busy[srv] = false }()
+	base := h.c.Bases[srv]
+
+	if viaPoint {
+		point := core.CrashPoints[n.rng.Intn(len(core.CrashPoints))]
+		armed := p.Now()
+		base.SetCrashPoint(func(pt string, _ types.OpID) bool { return pt == point })
+		for p.Now()-armed < 150*time.Millisecond && !base.Crashed() {
+			p.Sleep(5 * time.Millisecond)
+		}
+		base.SetCrashPoint(nil)
+		if !base.Crashed() {
+			return // no operation reached the armed point; nothing happened
+		}
+		h.rep.CrashPointsFired++
+		h.event(fmt.Sprintf("crash-point %s fired on s%d", point, srv))
+	} else {
+		base.Crash()
+		h.rep.Crashes++
+		h.event(fmt.Sprintf("crash s%d", srv))
+	}
+
+	p.Sleep(time.Duration(5+n.rng.Intn(25)) * time.Millisecond)
+	base.Reboot()
+	h.c.CxSrv[srv].Recover(p)
+	h.rep.Reboots++
+	h.event(fmt.Sprintf("reboot+recover s%d", srv))
+}
+
+// partition cuts both directions between two servers for a bounded window.
+func (n *nemesis) partition() {
+	h := n.h
+	if h.cfg.Servers < 2 {
+		return
+	}
+	a := n.rng.Intn(h.cfg.Servers)
+	b := n.rng.Intn(h.cfg.Servers)
+	if a == b {
+		return
+	}
+	na, nb := types.NodeID(a), types.NodeID(b)
+	h.c.Net.Partition(na, nb)
+	h.c.Net.Partition(nb, na)
+	h.rep.Partitions++
+	h.event(fmt.Sprintf("partition s%d<->s%d", a, b))
+	window := time.Duration(10+n.rng.Intn(40)) * time.Millisecond
+	h.c.Sim.After(window, func() {
+		h.c.Net.Heal(na, nb)
+		h.c.Net.Heal(nb, na)
+		h.event(fmt.Sprintf("heal s%d<->s%d", a, b))
+	})
+}
+
+// faultWindow turns on cluster-wide probabilistic drop/dup/delay for a
+// bounded window.
+func (n *nemesis) faultWindow() {
+	if n.faultOn {
+		return
+	}
+	h := n.h
+	n.faultOn = true
+	fr := h.cfg.FaultRate
+	h.c.Net.SetDefaultFaults(transport.Faults{
+		DropProb:  0.08 * fr,
+		DupProb:   0.05 * fr,
+		DelayProb: 0.25 * fr,
+		DelayMax:  2 * time.Millisecond,
+	})
+	h.rep.FaultWindows++
+	h.event(fmt.Sprintf("link faults on (rate %.2f)", fr))
+	window := time.Duration(20+n.rng.Intn(60)) * time.Millisecond
+	h.c.Sim.After(window, func() {
+		h.c.Net.ClearFaults()
+		n.faultOn = false
+		h.event("link faults off")
+	})
+}

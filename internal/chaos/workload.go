@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// entry is one name in the per-worker oracle. Names are worker-private and
+// never reused, so every operation's effect on its name is unambiguous:
+// after a definite success or failure the expected state is known exactly,
+// and after a timeout the name is frozen in stUnknown — the final
+// verification then accepts exactly the two states the unfinished operation
+// could legally have left behind.
+type entry struct {
+	name  string
+	ino   types.InodeID
+	dir   bool
+	state uint8
+}
+
+const (
+	stAbsent  uint8 = iota // definitely not in the namespace
+	stExists               // definitely present, pointing at entry.ino
+	stUnknown              // a timed-out operation's outcome is undecided
+)
+
+// worker returns the proc body of one workload process: a randomized
+// create/remove/lookup mix over private names (some containing spaces, to
+// exercise the invariant checker's name parsing), with every outcome folded
+// into the oracle.
+func (h *harness) worker(w int) func(*simrt.Proc) {
+	return func(p *simrt.Proc) {
+		defer h.group.Done()
+		pr := h.c.Proc(w)
+		rng := rand.New(rand.NewSource(h.cfg.Seed*1000003 + int64(w)))
+		var live []*entry // entries currently in stExists
+
+		for i := 0; i < h.cfg.OpsPerWorker; i++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.55 || len(live) == 0:
+				// Create a fresh file or directory under root. The space in
+				// the name is deliberate.
+				e := &entry{name: fmt.Sprintf("w%d f%d", w, i), dir: rng.Float64() < 0.25}
+				h.entries[w] = append(h.entries[w], e)
+				var err error
+				if e.dir {
+					e.ino, err = pr.Mkdir(p, types.RootInode, e.name)
+				} else {
+					e.ino, err = pr.Create(p, types.RootInode, e.name)
+				}
+				h.rep.Ops++
+				switch {
+				case err == nil:
+					e.state = stExists
+					live = append(live, e)
+					h.rep.OK++
+				case errors.Is(err, types.ErrTimeout):
+					e.state = stUnknown
+					h.rep.Unknown++
+				case errors.Is(err, types.ErrExists):
+					// The name was never used before: nothing may already
+					// hold it.
+					h.violate("worker %d: create %q reported exists on a fresh name", w, e.name)
+					e.state = stUnknown
+					h.rep.Failed++
+				default:
+					// A definite abort must leave no residue.
+					e.state = stAbsent
+					h.rep.Failed++
+				}
+			case r < 0.85:
+				// Remove an entry the oracle knows exists.
+				k := rng.Intn(len(live))
+				e := live[k]
+				live = append(live[:k], live[k+1:]...)
+				var err error
+				if e.dir {
+					err = pr.Rmdir(p, types.RootInode, e.name, e.ino)
+				} else {
+					err = pr.Remove(p, types.RootInode, e.name, e.ino)
+				}
+				h.rep.Ops++
+				switch {
+				case err == nil:
+					e.state = stAbsent
+					h.rep.OK++
+				case errors.Is(err, types.ErrTimeout):
+					e.state = stUnknown
+					h.rep.Unknown++
+				case errors.Is(err, types.ErrNotFound):
+					// The previous operation on this name definitely
+					// succeeded, so the entry must be there.
+					h.violate("worker %d: remove %q reported not-found on a committed entry", w, e.name)
+					e.state = stUnknown
+					h.rep.Failed++
+				default:
+					// Aborted: the entry survives.
+					live = append(live, e)
+					h.rep.Failed++
+				}
+			default:
+				// Live read-your-writes check on a name with a known state.
+				var known []*entry
+				for _, e := range h.entries[w] {
+					if e.state != stUnknown {
+						known = append(known, e)
+					}
+				}
+				if len(known) == 0 {
+					continue
+				}
+				e := known[rng.Intn(len(known))]
+				in, err := pr.Lookup(p, types.RootInode, e.name)
+				h.rep.Ops++
+				switch {
+				case errors.Is(err, types.ErrTimeout):
+					// No information; the name's oracle state is untouched.
+					h.rep.Unknown++
+				case err == nil:
+					h.rep.OK++
+					if e.state == stAbsent {
+						h.violate("worker %d: lookup %q found a removed entry (ino %d)", w, e.name, in.Ino)
+					} else if in.Ino != e.ino {
+						h.violate("worker %d: lookup %q -> ino %d, want %d", w, e.name, in.Ino, e.ino)
+					}
+				case errors.Is(err, types.ErrNotFound):
+					h.rep.OK++
+					if e.state == stExists {
+						h.violate("worker %d: lookup %q lost a committed entry", w, e.name)
+					}
+				default:
+					h.rep.Failed++
+				}
+			}
+		}
+	}
+}
+
+// verify runs after heal+recover+quiesce: every oracle name is resolved on
+// the settled namespace and compared against its expected state, then the
+// cluster-wide invariants are checked.
+func (h *harness) verify(p *simrt.Proc) {
+	for w := range h.entries {
+		pr := h.c.Proc(w)
+		for _, e := range h.entries[w] {
+			in, err := pr.Lookup(p, types.RootInode, e.name)
+			found := err == nil
+			switch {
+			case err != nil && !errors.Is(err, types.ErrNotFound):
+				h.violate("verify: lookup %q failed on the healed cluster: %v", e.name, err)
+			case e.state == stExists && !found:
+				h.violate("verify: committed entry %q is gone", e.name)
+			case e.state == stExists && in.Ino != e.ino:
+				h.violate("verify: entry %q -> ino %d, want %d", e.name, in.Ino, e.ino)
+			case e.state == stAbsent && found:
+				h.violate("verify: aborted/removed entry %q left residue (ino %d)", e.name, in.Ino)
+			case e.state == stUnknown && found && in.Ino != e.ino:
+				h.violate("verify: unknown-outcome entry %q -> foreign ino %d", e.name, in.Ino)
+			}
+		}
+	}
+	h.rep.Violations = append(h.rep.Violations, h.c.CheckInvariants()...)
+}

@@ -12,6 +12,9 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"cxfs/internal/baseline"
@@ -67,6 +70,12 @@ type Options struct {
 	Cx       core.Config
 	// SEFlush paces the OFS-batched flush daemon.
 	SEFlush time.Duration
+	// Retry is the client-side per-RPC timeout/retry policy, applied to
+	// every driver. The zero value (the default) keeps the historical
+	// behavior: a client blocks forever on a lost reply. Fault-injection
+	// runs must set it; the servers' duplicate suppression makes the
+	// retransmissions at-most-once.
+	Retry types.RetryPolicy
 	// Obs attaches the observability layer to the servers, drivers, and
 	// WALs. Nil (the default) disables all recording.
 	Obs *obs.Observer
@@ -184,18 +193,22 @@ func New(opts Options) (*Cluster, error) {
 		case ProtoCx:
 			d := core.NewDriver(host, pl)
 			d.SetObserver(opts.Obs, string(opts.Protocol))
+			d.SetRetry(opts.Retry)
 			c.drivers = append(c.drivers, d)
 		case ProtoSE, ProtoSEBatched:
 			d := baseline.NewSEDriver(host, pl)
 			d.SetObserver(opts.Obs, string(opts.Protocol))
+			d.SetRetry(opts.Retry)
 			c.drivers = append(c.drivers, d)
 		case Proto2PC:
 			d := baseline.NewTwoPCDriver(host, pl)
 			d.SetObserver(opts.Obs, string(opts.Protocol))
+			d.SetRetry(opts.Retry)
 			c.drivers = append(c.drivers, d)
 		case ProtoCE:
 			d := baseline.NewCEDriver(host, pl)
 			d.SetObserver(opts.Obs, string(opts.Protocol))
+			d.SetRetry(opts.Retry)
 			c.drivers = append(c.drivers, d)
 		}
 	}
@@ -430,9 +443,16 @@ func (c *Cluster) CheckInvariants() []string {
 	inodes := make(map[types.InodeID]types.Inode)
 	for _, b := range c.Bases {
 		b.KV.Range(func(key string, val []byte) bool {
-			var dir, ino uint64
-			var name string
-			if n, err := fmt.Sscanf(key, "d/%d/%s", &dir, &name); err == nil && n == 2 {
+			// Dentry rows are "d/<dir>/<name>". Split on the first two
+			// slashes only: a name may itself contain spaces or slashes, so
+			// token-based parsing (Sscanf's %s stops at whitespace) would
+			// truncate it and mask real violations.
+			if rest, ok := strings.CutPrefix(key, "d/"); ok {
+				dirStr, name, found := strings.Cut(rest, "/")
+				dir, err := strconv.ParseUint(dirStr, 10, 64)
+				if !found || err != nil {
+					return true
+				}
 				if len(val) == 8 {
 					var v uint64
 					for i := 7; i >= 0; i-- {
@@ -442,7 +462,11 @@ func (c *Cluster) CheckInvariants() []string {
 				}
 				return true
 			}
-			if n, err := fmt.Sscanf(key, "i/%d", &ino); err == nil && n == 1 {
+			if inoStr, ok := strings.CutPrefix(key, "i/"); ok {
+				ino, err := strconv.ParseUint(inoStr, 10, 64)
+				if err != nil {
+					return true
+				}
 				sh := c.Bases[c.Placement.ParticipantFor(types.InodeID(ino))].Shard
 				if in, ok := sh.GetInode(types.InodeID(ino)); ok {
 					inodes[in.Ino] = in
@@ -451,6 +475,17 @@ func (c *Cluster) CheckInvariants() []string {
 			return true
 		})
 	}
+	// KV.Range iterates a map; sort the gathered dentries so violation
+	// output is deterministic.
+	sort.Slice(dents, func(i, j int) bool {
+		if dents[i].dir != dents[j].dir {
+			return dents[i].dir < dents[j].dir
+		}
+		if dents[i].name != dents[j].name {
+			return dents[i].name < dents[j].name
+		}
+		return dents[i].ino < dents[j].ino
+	})
 	refs := make(map[types.InodeID]uint32)
 	for _, d := range dents {
 		refs[d.ino]++
@@ -463,7 +498,15 @@ func (c *Cluster) CheckInvariants() []string {
 			bad = append(bad, fmt.Sprintf("dentry (%d,%q) -> dead inode %d", d.dir, d.name, d.ino))
 		}
 	}
-	for ino, in := range inodes {
+	// Report in sorted inode order so a run's violation list is
+	// deterministic (chaos replay compares reports bit-for-bit).
+	inos := make([]types.InodeID, 0, len(inodes))
+	for ino := range inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		in := inodes[ino]
 		if in.Type == types.FileRegular && in.Nlink != refs[ino] {
 			bad = append(bad, fmt.Sprintf("inode %d nlink=%d but %d dentries reference it", ino, in.Nlink, refs[ino]))
 		}

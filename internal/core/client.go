@@ -22,6 +22,7 @@ type Driver struct {
 
 	obsv  *obs.Observer
 	proto string
+	retry types.RetryPolicy
 
 	stats DriverStats
 }
@@ -35,6 +36,8 @@ type DriverStats struct {
 	Disagreements uint64 // L-COM rounds
 	Failures      uint64
 	Supersedes    uint64 // responses replaced by a higher epoch
+	Retries       uint64 // request retransmissions after a reply timeout
+	Timeouts      uint64 // operations abandoned with ErrTimeout
 }
 
 // NewDriver builds a Cx driver bound to a client host.
@@ -49,6 +52,33 @@ func (d *Driver) Stats() DriverStats { return d.stats }
 // are recorded under proto. Nil (the default) records nothing.
 func (d *Driver) SetObserver(o *obs.Observer, proto string) {
 	d.obsv, d.proto = o, proto
+}
+
+// SetRetry installs the per-RPC timeout/retry policy. The zero policy (the
+// default) blocks forever on a lost reply, which is only acceptable on a
+// fault-free network; under faults, a policy bounds every wait and the
+// server-side duplicate suppression keeps retransmissions at-most-once.
+func (d *Driver) SetRetry(rp types.RetryPolicy) { d.retry = rp }
+
+// call sends req and waits for a reply on route, retransmitting per the
+// retry policy. The second return is false when the attempt budget is
+// exhausted: the operation's outcome is unknown.
+func (d *Driver) call(p *simrt.Proc, route *simrt.Chan[wire.Msg], req wire.Msg) (wire.Msg, bool) {
+	if !d.retry.Enabled() {
+		d.host.Send(req)
+		return route.Recv(p), true
+	}
+	for attempt := 0; attempt < d.retry.MaxAttempts(); attempt++ {
+		if attempt > 0 {
+			d.stats.Retries++
+		}
+		d.host.Send(req)
+		if m, ok := route.RecvTimeout(p, d.retry.WaitFor(attempt)); ok {
+			return m, true
+		}
+	}
+	d.stats.Timeouts++
+	return wire.Msg{}, false
 }
 
 // errFrom converts a response's error string back into a typed error.
@@ -128,9 +158,12 @@ func (d *Driver) doSingle(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	}
 	route := d.host.Open(op.ID)
 	defer d.host.Done(op.ID)
-	d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: target, Op: op.ID,
+	m, ok := d.call(p, route, wire.Msg{Type: wire.MsgSubOpReq, To: target, Op: op.ID,
 		Sub: types.SingleSubOp(op), ReplyProc: op.ID.Proc})
-	m := route.Recv(p)
+	if !ok {
+		d.stats.Failures++
+		return types.Inode{}, types.ErrTimeout
+	}
 	if !m.OK {
 		d.stats.Failures++
 	}
@@ -142,8 +175,11 @@ func (d *Driver) doSingle(p *simrt.Proc, op types.Op) (types.Inode, error) {
 func (d *Driver) doLocal(p *simrt.Proc, op types.Op, server types.NodeID) (types.Inode, error) {
 	route := d.host.Open(op.ID)
 	defer d.host.Done(op.ID)
-	d.host.Send(wire.Msg{Type: wire.MsgOpReq, To: server, Op: op.ID, FullOp: op, ReplyProc: op.ID.Proc})
-	m := route.Recv(p)
+	m, ok := d.call(p, route, wire.Msg{Type: wire.MsgOpReq, To: server, Op: op.ID, FullOp: op, ReplyProc: op.ID.Proc})
+	if !ok {
+		d.stats.Failures++
+		return types.Inode{}, types.ErrTimeout
+	}
 	if !m.OK {
 		d.stats.Failures++
 	}
@@ -170,13 +206,48 @@ func (d *Driver) doCross(p *simrt.Proc, op types.Op, coord, part types.NodeID, c
 	route := d.host.Open(op.ID)
 	defer d.host.Done(op.ID)
 
-	d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: coord, Op: op.ID, Sub: cSub, Peer: part, ReplyProc: op.ID.Proc})
-	d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: op.ID, Sub: pSub, Peer: coord, ReplyProc: op.ID.Proc})
+	sendCoord := func() {
+		d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: coord, Op: op.ID, Sub: cSub, Peer: part, ReplyProc: op.ID.Proc})
+	}
+	sendPart := func() {
+		d.host.Send(wire.Msg{Type: wire.MsgSubOpReq, To: part, Op: op.ID, Sub: pSub, Peer: coord, ReplyProc: op.ID.Proc})
+	}
+	sendCoord()
+	sendPart()
 
 	var rc, rp respState
 	lcomSent := false
+	attempt := 0
 	for {
-		m := route.Recv(p)
+		var m wire.Msg
+		if d.retry.Enabled() {
+			var got bool
+			m, got = route.RecvTimeout(p, d.retry.WaitFor(attempt))
+			if !got {
+				attempt++
+				if attempt >= d.retry.MaxAttempts() {
+					d.stats.Timeouts++
+					d.stats.Failures++
+					return types.Inode{}, types.ErrTimeout
+				}
+				d.stats.Retries++
+				// Retransmit whatever is still outstanding; servers answer
+				// duplicates from their pending state or reply cache.
+				if !rc.have || rc.voided {
+					sendCoord()
+				}
+				if !rp.have || rp.voided {
+					sendPart()
+				}
+				if lcomSent {
+					d.host.Send(wire.Msg{Type: wire.MsgLCom, To: coord, Op: op.ID, ReplyProc: op.ID.Proc})
+				}
+				continue
+			}
+			attempt = 0 // any received message counts as progress
+		} else {
+			m = route.Recv(p)
+		}
 		switch m.Type {
 		case wire.MsgAllNo:
 			// 7b: every successful execution was aborted.

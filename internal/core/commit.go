@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cxfs/internal/namespace"
@@ -42,9 +43,12 @@ func (s *Server) requestCommitFrom(op types.OpID, lcom bool, from types.NodeID) 
 		return
 	}
 	if s.tombstones[op] {
-		if from >= 0 && !lcom {
-			// Already aborted here: answer the nudging participant so it
-			// can abort its side too.
+		if lcom {
+			// Already aborted here: the L-COM's answer is ALL-NO, or the
+			// client would retry until its attempt budget drains.
+			s.Send(wire.Msg{Type: wire.MsgAllNo, To: op.Proc.Client, Op: op})
+		} else if from >= 0 {
+			// Answer the nudging participant so it can abort its side too.
 			s.Send(wire.Msg{Type: wire.MsgCommitReq, To: from, Op: op,
 				Decisions: []wire.Decision{{Op: op, Commit: false}}})
 		}
@@ -71,10 +75,17 @@ func (s *Server) requestCommitFrom(op types.OpID, lcom bool, from types.NodeID) 
 // arrival of the sub-op must see it aborted.
 func (s *Server) expireWantCommit() {
 	now := s.Sim.Now()
+	// Deterministic expiry order: map iteration order must not leak into
+	// the message sequence (seed-exact replay depends on it).
+	var expired []types.OpID
 	for op, e := range s.wantCommit {
-		if now-e.at <= s.cfg.VoteWait {
-			continue
+		if now-e.at > s.cfg.VoteWait {
+			expired = append(expired, op)
 		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return opLess(expired[i], expired[j]) })
+	for _, op := range expired {
+		e := s.wantCommit[op]
 		delete(s.wantCommit, op)
 		s.tombstone(op)
 		s.stats.OpsAborted++
@@ -116,11 +127,9 @@ func (s *Server) commitDaemon(p *simrt.Proc) {
 			// executions that have waited a full trigger period (their
 			// coordinator may have crashed before learning of the op).
 			s.expireWantCommit()
-			for _, po := range s.pendingPart {
-				if !po.committing && s.Sim.Now()-po.since > s.lazyPeriod() {
-					s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: po.coordinator, Op: po.id})
-				}
-			}
+			s.nudgeStaleParts(func(po *partOp) bool {
+				return s.Sim.Now()-po.since > s.lazyPeriod()
+			})
 		}
 	}
 }
@@ -167,6 +176,9 @@ func (s *Server) runCommit(p *simrt.Proc, req kickReq) {
 			}
 		}
 	}
+	// The piggyback and lazy paths collect from map iteration; order the
+	// batch deterministically so a seed replays to the same message trace.
+	sort.Slice(targets, func(i, j int) bool { return opLess(targets[i].id, targets[j].id) })
 	if s.cfg.Obs.TraceOn() {
 		now := s.Sim.Now()
 		if req.lazy && (len(targets) > 0 || len(s.flushQ) > 0) {
@@ -187,13 +199,16 @@ func (s *Server) runCommit(p *simrt.Proc, req kickReq) {
 		}
 		groups[co.participant] = append(groups[co.participant], co)
 	}
+	boot := s.Boot()
+	if len(targets) > 0 {
+	}
 	g := simrt.NewGroup(s.Sim)
 	g.Add(len(order))
 	for _, part := range order {
 		part, cops := part, groups[part]
 		s.Sim.Spawn("cx/commit-group", func(gp *simrt.Proc) {
 			defer g.Done()
-			s.groupCommit(gp, part, cops)
+			s.groupCommit(gp, boot, part, cops)
 		})
 	}
 	g.Wait(p)
@@ -227,8 +242,10 @@ func (s *Server) drainFlushQ(p *simrt.Proc) {
 }
 
 // groupCommit runs the commitment phase (§III.B steps 3-7) for a batch of
-// operations sharing one participant.
-func (s *Server) groupCommit(p *simrt.Proc, part types.NodeID, cops []*coordOp) {
+// operations sharing one participant. boot is the coordinator incarnation
+// this batch belongs to: a crash+reboot mid-phase orphans the proc, and it
+// must stop touching the rebuilt state (recovery re-drives the batch).
+func (s *Server) groupCommit(p *simrt.Proc, boot uint64, part types.NodeID, cops []*coordOp) {
 	ids := make([]types.OpID, len(cops))
 	var enforce []types.OpID
 	for i, co := range cops {
@@ -244,8 +261,8 @@ func (s *Server) groupCommit(p *simrt.Proc, part types.NodeID, cops []*coordOp) 
 
 	// Step 3: VOTE (retried until the participant answers — it may be
 	// rebooting).
-	votes := s.rpcVotes(p, part, ids, enforce)
-	if s.Crashed() {
+	votes := s.rpcVotes(p, boot, part, ids, enforce)
+	if s.CrashPoint(CPCommitAfterVote, ids[0]) || s.Gone(boot) {
 		return
 	}
 
@@ -269,13 +286,13 @@ func (s *Server) groupCommit(p *simrt.Proc, part types.NodeID, cops []*coordOp) 
 		}
 	}
 	s.WAL.AppendBatchPriority(p, recs)
-	if s.Crashed() {
+	if s.CrashPoint(CPCommitAfterDecision, ids[0]) || s.Gone(boot) {
 		return
 	}
 
 	// Step 5-6: COMMIT-REQ/ABORT-REQ, await ACK (retried).
-	s.rpcAck(p, part, ids, decisions)
-	if s.Crashed() {
+	s.rpcAck(p, boot, part, ids, decisions)
+	if s.CrashPoint(CPCommitBeforeComplete, ids[0]) || s.Gone(boot) {
 		return
 	}
 
@@ -286,7 +303,7 @@ func (s *Server) groupCommit(p *simrt.Proc, part types.NodeID, cops []*coordOp) 
 		comp = append(comp, wal.Record{Type: wal.RecComplete, Op: co.id, Role: types.RoleCoordinator})
 	}
 	s.WAL.AppendBatchPriority(p, comp)
-	if s.Crashed() {
+	if s.Gone(boot) {
 		return
 	}
 	for i, co := range cops {
@@ -311,14 +328,18 @@ func (s *Server) groupCommit(p *simrt.Proc, part types.NodeID, cops []*coordOp) 
 
 // rpcVotes sends a batched VOTE and returns the participant's votes,
 // retrying across participant crashes.
-func (s *Server) rpcVotes(p *simrt.Proc, part types.NodeID, ids, enforce []types.OpID) map[types.OpID]bool {
+func (s *Server) rpcVotes(p *simrt.Proc, boot uint64, part types.NodeID, ids, enforce []types.OpID) map[types.OpID]bool {
 	ch := simrt.NewChan[wire.Msg](s.Sim)
-	s.voteResp[part] = ch
-	defer func() { delete(s.voteResp, part) }()
+	s.voteResp[ids[0]] = ch
+	defer func() {
+		if s.voteResp[ids[0]] == ch {
+			delete(s.voteResp, ids[0])
+		}
+	}()
 	for {
 		s.Send(wire.Msg{Type: wire.MsgVote, To: part, Ops: ids, Enforce: enforce})
 		m, ok := ch.RecvTimeout(p, s.cfg.RetryInterval+s.cfg.VoteWait)
-		if s.Crashed() {
+		if s.Gone(boot) {
 			return nil
 		}
 		if ok {
@@ -334,13 +355,20 @@ func (s *Server) rpcVotes(p *simrt.Proc, part types.NodeID, ids, enforce []types
 // rpcAck sends the batched COMMIT-REQ/ABORT-REQ and waits for the ACK,
 // retrying across participant crashes. The participant's handler is
 // idempotent.
-func (s *Server) rpcAck(p *simrt.Proc, part types.NodeID, ids []types.OpID, decisions []wire.Decision) {
+func (s *Server) rpcAck(p *simrt.Proc, boot uint64, part types.NodeID, ids []types.OpID, decisions []wire.Decision) {
 	ch := simrt.NewChan[wire.Msg](s.Sim)
-	s.ackResp[part] = ch
-	defer func() { delete(s.ackResp, part) }()
+	s.ackResp[ids[0]] = ch
+	defer func() {
+		if s.ackResp[ids[0]] == ch {
+			delete(s.ackResp, ids[0])
+		}
+	}()
 	for {
 		s.Send(wire.Msg{Type: wire.MsgCommitReq, To: part, Ops: ids, Decisions: decisions})
-		if _, ok := ch.RecvTimeout(p, s.cfg.RetryInterval); ok || s.Crashed() {
+		if len(ids) > 0 && s.CrashPoint(CPCommitMidFanout, ids[0]) {
+			return // decision sent, ACK never collected
+		}
+		if _, ok := ch.RecvTimeout(p, s.cfg.RetryInterval); ok || s.Gone(boot) {
 			return
 		}
 	}
@@ -350,18 +378,19 @@ func (s *Server) rpcAck(p *simrt.Proc, part types.NodeID, ids []types.OpID, deci
 // Result-Record of the corresponding sub-op, resolving blocked or in-flight
 // sub-ops first per the conflict rules.
 func (s *Server) handleVote(p *simrt.Proc, m wire.Msg) {
+	boot := s.Boot()
 	enforce := make(map[types.OpID]bool, len(m.Enforce))
 	for _, id := range m.Enforce {
 		enforce[id] = true
 	}
 	votes := make([]wire.Vote, len(m.Ops))
 	for i, id := range m.Ops {
-		votes[i] = wire.Vote{Op: id, OK: s.resolveVote(p, id, enforce)}
-		if s.Crashed() {
+		votes[i] = wire.Vote{Op: id, OK: s.resolveVote(p, boot, id, enforce)}
+		if s.Gone(boot) {
 			return
 		}
 	}
-	s.Send(wire.Msg{Type: wire.MsgVoteResp, To: m.From, Votes: votes})
+	s.Send(wire.Msg{Type: wire.MsgVoteResp, To: m.From, Ops: m.Ops, Votes: votes})
 }
 
 // resolveVote produces this server's YES/NO for one operation. The sub-op
@@ -370,7 +399,7 @@ func (s *Server) handleVote(p *simrt.Proc, m wire.Msg) {
 // flight (wait for arrival). A bounded wait backstops pathological chains;
 // timing out votes NO, which is safe because an operation that has not
 // executed here cannot have been completed by its client.
-func (s *Server) resolveVote(p *simrt.Proc, id types.OpID, enforce map[types.OpID]bool) bool {
+func (s *Server) resolveVote(p *simrt.Proc, boot uint64, id types.OpID, enforce map[types.OpID]bool) bool {
 	deadline := s.Sim.Now() + s.cfg.VoteWait
 	for {
 		if po := s.pendingPart[id]; po != nil {
@@ -396,12 +425,12 @@ func (s *Server) resolveVote(p *simrt.Proc, id types.OpID, enforce map[types.OpI
 				// holder, but we executed holder first. Invalidate it and
 				// execute id now (§III.C step 4).
 				if s.invalidate(p, holder, id) {
-					if s.Crashed() {
+					if s.Gone(boot) {
 						return false
 					}
 					s.unblock(br)
 					s.execSubOp(p, br.msg, types.NilOp, br.epoch)
-					if s.Crashed() {
+					if s.Gone(boot) {
 						return false
 					}
 					continue
@@ -412,7 +441,7 @@ func (s *Server) resolveVote(p *simrt.Proc, id types.OpID, enforce map[types.OpI
 			s.requestCommit(holder, false)
 			ch := s.waitChan(s.completeSig, holder)
 			ch.RecvTimeout(p, remaining)
-			if s.Crashed() {
+			if s.Gone(boot) {
 				return false
 			}
 			continue
@@ -420,7 +449,7 @@ func (s *Server) resolveVote(p *simrt.Proc, id types.OpID, enforce map[types.OpI
 		// Not arrived yet: wait for execution or timeout.
 		ch := s.waitChan(s.arrivalSig, id)
 		ch.RecvTimeout(p, remaining)
-		if s.Crashed() {
+		if s.Gone(boot) {
 			return false
 		}
 	}
@@ -442,6 +471,7 @@ func (s *Server) canInvalidate(op types.OpID) bool {
 // back, the batch's rows flush together, and followers release. Idempotent:
 // decisions for operations already finished here are re-ACKed blindly.
 func (s *Server) handleCommitReq(p *simrt.Proc, m wire.Msg) {
+	boot := s.Boot()
 	recs := make([]wal.Record, 0, len(m.Decisions))
 	done := make([]*partOp, 0, len(m.Decisions))
 	doneRows := make([][]string, 0, len(m.Decisions))
@@ -474,7 +504,11 @@ func (s *Server) handleCommitReq(p *simrt.Proc, m wire.Msg) {
 		doneRows = append(doneRows, rows)
 	}
 	s.WAL.AppendBatchPriority(p, recs)
-	if s.Crashed() {
+	cpOp := m.Op
+	if len(m.Decisions) > 0 {
+		cpOp = m.Decisions[0].Op
+	}
+	if s.CrashPoint(CPPartBeforeAck, cpOp) || s.Gone(boot) {
 		return
 	}
 	for i, po := range done {
@@ -497,10 +531,16 @@ func (s *Server) handleCommitReq(p *simrt.Proc, m wire.Msg) {
 
 // finalReply picks the response a duplicate request should receive after
 // the operation's fate is sealed: the recorded execution response when it
-// committed, an aborted NO otherwise.
+// committed, an aborted NO otherwise. A committed operation rebuilt by
+// recovery has no recorded response (it died with the volatile state); a
+// synthesized YES stands in — telling a retrying client "aborted" for an
+// operation that committed would corrupt its view of the namespace.
 func finalReply(id types.OpID, last wire.Msg, committed bool, client types.NodeID) wire.Msg {
-	if committed && last.Type != 0 {
-		return last
+	if committed {
+		if last.Type != 0 {
+			return last
+		}
+		return wire.Msg{Type: wire.MsgSubOpResp, To: client, Op: id, OK: true, Epoch: 1}
 	}
 	return wire.Msg{Type: wire.MsgSubOpResp, To: client, Op: id,
 		OK: false, Err: types.ErrAborted.Error(), Epoch: last.Epoch + 1}

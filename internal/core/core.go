@@ -46,6 +46,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cxfs/internal/namespace"
@@ -203,9 +204,15 @@ type Server struct {
 	arrivalSig  map[types.OpID][]*simrt.Chan[struct{}]
 	completeSig map[types.OpID][]*simrt.Chan[struct{}]
 
-	kick     *simrt.Chan[kickReq]
-	voteResp map[types.NodeID]*simrt.Chan[wire.Msg]
-	ackResp  map[types.NodeID]*simrt.Chan[wire.Msg]
+	kick *simrt.Chan[kickReq]
+	// voteResp/ackResp route batched VOTE and ACK replies back to the
+	// rpcVotes/rpcAck round that sent the request, keyed by the batch's
+	// first operation. Keying by participant instead would cross-wire two
+	// concurrent rounds for the same participant — recovery's resume loop
+	// runs while the commit daemon drives rebuilt operations — leaving one
+	// round retrying forever against a deregistered channel.
+	voteResp map[types.OpID]*simrt.Chan[wire.Msg]
+	ackResp  map[types.OpID]*simrt.Chan[wire.Msg]
 
 	// Per-operation reply routes for rename transactions (lazily built).
 	renameVote map[types.OpID]*simrt.Chan[wire.Msg]
@@ -227,6 +234,10 @@ type Server struct {
 	// clients. Bounded FIFO.
 	replyCache map[types.OpID]wire.Msg
 	replyOrder []types.OpID
+	// localInflight marks OpReq operations currently executing on the
+	// local (colocated/rename) path, so a retried duplicate is dropped
+	// instead of re-executed.
+	localInflight map[types.OpID]bool
 
 	stats Stats
 }
@@ -243,22 +254,23 @@ func NewServer(base *node.Base, pl namespace.Placement, cfg Config) *Server {
 		cfg.TombstoneCap = 8192
 	}
 	s := &Server{
-		Base:         base,
-		cfg:          cfg,
-		pl:           pl,
-		pendingCoord: make(map[types.OpID]*coordOp),
-		pendingPart:  make(map[types.OpID]*partOp),
-		active:       make(map[types.ObjKey]types.OpID),
-		waiters:      make(map[types.OpID][]*blockedReq),
-		blockedOf:    make(map[types.OpID]*blockedReq),
-		tombstones:   make(map[types.OpID]bool),
-		arrivalSig:   make(map[types.OpID][]*simrt.Chan[struct{}]),
-		completeSig:  make(map[types.OpID][]*simrt.Chan[struct{}]),
-		kick:         simrt.NewChan[kickReq](base.Sim),
-		voteResp:     make(map[types.NodeID]*simrt.Chan[wire.Msg]),
-		ackResp:      make(map[types.NodeID]*simrt.Chan[wire.Msg]),
-		wantCommit:   make(map[types.OpID]wantEntry),
-		replyCache:   make(map[types.OpID]wire.Msg),
+		Base:          base,
+		cfg:           cfg,
+		pl:            pl,
+		pendingCoord:  make(map[types.OpID]*coordOp),
+		pendingPart:   make(map[types.OpID]*partOp),
+		active:        make(map[types.ObjKey]types.OpID),
+		waiters:       make(map[types.OpID][]*blockedReq),
+		blockedOf:     make(map[types.OpID]*blockedReq),
+		tombstones:    make(map[types.OpID]bool),
+		arrivalSig:    make(map[types.OpID][]*simrt.Chan[struct{}]),
+		completeSig:   make(map[types.OpID][]*simrt.Chan[struct{}]),
+		kick:          simrt.NewChan[kickReq](base.Sim),
+		voteResp:      make(map[types.OpID]*simrt.Chan[wire.Msg]),
+		ackResp:       make(map[types.OpID]*simrt.Chan[wire.Msg]),
+		wantCommit:    make(map[types.OpID]wantEntry),
+		replyCache:    make(map[types.OpID]wire.Msg),
+		localInflight: make(map[types.OpID]bool),
 	}
 	return s
 }
@@ -305,6 +317,20 @@ func (s *Server) DebugOp(op types.OpID) string {
 	return "absent"
 }
 
+// DebugPending lists every pending operation and its protocol state here
+// (diagnostics).
+func (s *Server) DebugPending() []string {
+	var out []string
+	for id, co := range s.pendingCoord {
+		out = append(out, fmt.Sprintf("coord op=%v committing=%v lcom=%v participant=%v", id, co.committing, co.lcom, co.participant))
+	}
+	for id, po := range s.pendingPart {
+		out = append(out, fmt.Sprintf("part op=%v committing=%v coordinator=%v since=%v", id, po.committing, po.coordinator, po.since))
+	}
+	sort.Strings(out)
+	return out
+}
+
 // DebugBlocked describes each parked request and its holder's state
 // (diagnostics).
 func (s *Server) DebugBlocked() []string {
@@ -325,6 +351,24 @@ func (s *Server) DebugBlocked() []string {
 	return out
 }
 
+// nudgeStaleParts sends C-NOTIFY to the coordinator of every
+// not-yet-committing participant execution matched by pred, in a
+// deterministic operation order (map iteration order must not leak into
+// the message sequence).
+func (s *Server) nudgeStaleParts(pred func(*partOp) bool) {
+	var ids []types.OpID
+	for _, po := range s.pendingPart {
+		if !po.committing && pred(po) {
+			ids = append(ids, po.id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return opLess(ids[i], ids[j]) })
+	for _, id := range ids {
+		po := s.pendingPart[id]
+		s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: po.coordinator, Op: po.id})
+	}
+}
+
 // KickCommit launches a lazy commitment batch immediately, as the harness's
 // quiesce step and the log-full handler do.
 func (s *Server) KickCommit() {
@@ -340,11 +384,7 @@ func (s *Server) Start() {
 		// the participant-role backlog whose coordinators are idle.
 		s.stats.ImmediateCommits++
 		s.kick.Send(kickReq{lazy: true})
-		for _, po := range s.pendingPart {
-			if !po.committing {
-				s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: po.coordinator, Op: po.id})
-			}
-		}
+		s.nudgeStaleParts(func(po *partOp) bool { return true })
 	})
 	s.Sim.Spawn("cx/commitd", s.commitDaemon)
 	if s.cfg.IdleTrigger > 0 {
@@ -408,26 +448,30 @@ func (s *Server) handle(p *simrt.Proc, m wire.Msg) {
 		}
 		s.handleVote(p, m)
 	case wire.MsgVoteResp:
-		if s.renameVote != nil && len(m.Votes) == 0 {
+		if len(m.Ops) > 0 { // batched reply: echoes the round's op set
+			if ch := s.voteResp[m.Ops[0]]; ch != nil {
+				ch.Send(m)
+			}
+			return
+		}
+		if s.renameVote != nil {
 			if ch := s.renameVote[m.Op]; ch != nil {
 				ch.Send(m)
-				return
 			}
-		}
-		if ch := s.voteResp[m.From]; ch != nil {
-			ch.Send(m)
 		}
 	case wire.MsgCommitReq:
 		s.handleCommitReq(p, m)
 	case wire.MsgAck:
+		if len(m.Ops) > 0 { // batched reply: echoes the round's op set
+			if ch := s.ackResp[m.Ops[0]]; ch != nil {
+				ch.Send(m)
+			}
+			return
+		}
 		if s.renameAck != nil {
 			if ch := s.renameAck[m.Op]; ch != nil {
 				ch.Send(m)
-				return
 			}
-		}
-		if ch := s.ackResp[m.From]; ch != nil {
-			ch.Send(m)
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package core
+
+// Named crash-points: the protocol steps at which a test (or the chaos
+// nemesis) can crash a server via node.Base.SetCrashPoint. Each constant
+// marks the instant *after* the named action has taken effect but before
+// the next one, so crashing there leaves exactly the partial state the §V
+// recovery protocol must repair.
+const (
+	// CPExecProvisional: the sub-op executed in memory and its object went
+	// active, but the Result-Record has not been appended. Recovery sees
+	// nothing; the execution evaporates with the volatile image.
+	CPExecProvisional = "exec:after-provisional"
+	// CPExecAppend: the Result-Record is durable but no reply was sent.
+	// Recovery rebuilds the pending op; the client is still waiting.
+	CPExecAppend = "exec:after-append"
+	// CPExecBeforeReply: pending state registered, reply built but dropped.
+	CPExecBeforeReply = "exec:before-reply"
+	// CPExecAfterReply: the reply left the server; the client may complete
+	// the operation while this server is down.
+	CPExecAfterReply = "exec:after-reply"
+	// CPCommitAfterVote: the coordinator holds the participant's votes but
+	// no decision is durable yet.
+	CPCommitAfterVote = "commit:after-vote"
+	// CPCommitAfterDecision: Commit/Abort-Records are durable on the
+	// coordinator, but the COMMIT-REQ fan-out has not happened.
+	CPCommitAfterDecision = "commit:after-decision"
+	// CPCommitMidFanout: the COMMIT-REQ was sent but the ACK has not been
+	// received — the decision is in flight.
+	CPCommitMidFanout = "commit:mid-fanout"
+	// CPCommitBeforeComplete: the participant acknowledged, but the
+	// Complete-Record is not yet durable.
+	CPCommitBeforeComplete = "commit:before-complete"
+	// CPPartBeforeAck: the participant persisted the decision but has not
+	// ACKed; the coordinator will retransmit.
+	CPPartBeforeAck = "part:before-ack"
+	// CPInvalidateMid: the Invalidate-Record is durable but the victim's
+	// invalidation notice and re-queue never happened.
+	CPInvalidateMid = "invalidate:mid"
+)
+
+// CrashPoints lists every named crash-point in the Cx core, for harnesses
+// that pick one at random.
+var CrashPoints = []string{
+	CPExecProvisional,
+	CPExecAppend,
+	CPExecBeforeReply,
+	CPExecAfterReply,
+	CPCommitAfterVote,
+	CPCommitAfterDecision,
+	CPCommitMidFanout,
+	CPCommitBeforeComplete,
+	CPPartBeforeAck,
+	CPInvalidateMid,
+}

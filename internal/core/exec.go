@@ -23,15 +23,29 @@ func (s *Server) handleSubOp(p *simrt.Proc, m wire.Msg) {
 		return
 	}
 	if co := s.pendingCoord[sub.Op]; co != nil && sub.Role == types.RoleCoordinator {
-		s.Send(co.lastResp)
+		if co.lastResp.Type != 0 { // recovery-rebuilt entries have no response yet
+			s.Send(co.lastResp)
+		}
 		return
 	}
 	if po := s.pendingPart[sub.Op]; po != nil && sub.Role == types.RoleParticipant {
-		s.Send(po.lastResp)
+		if po.lastResp.Type != 0 {
+			s.Send(po.lastResp)
+		}
 		return
 	}
 	if s.blockedOf[sub.Op] != nil {
 		return // original request is parked; its response will come
+	}
+	if s.localInflight[sub.Op] {
+		// A duplicate delivery (network dup, or a retransmission racing the
+		// original) while the first copy is still executing: the pending
+		// entry registers only after the Result-Record append, so none of
+		// the guards above catch this window, and the active-object check
+		// below exempts same-process ops. Re-executing would double-apply
+		// the sub-op; drop the copy — the original answers, and later
+		// retries hit the pending entry or the reply cache.
+		return
 	}
 	if s.tombstones[sub.Op] {
 		// The operation was aborted before this sub-op arrived (immediate
@@ -89,6 +103,11 @@ func (s *Server) unblock(br *blockedReq) {
 // replies with the conflict hint and execution epoch.
 func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uint32) {
 	sub := m.Sub
+	if s.localInflight[sub.Op] {
+		return // a copy of this sub-op is already mid-execution
+	}
+	s.localInflight[sub.Op] = true
+	defer delete(s.localInflight, sub.Op)
 	execStart := s.Sim.Now()
 	s.ExecCPU(p)
 	res := s.Shard.Exec(sub, s.NowNanos())
@@ -107,6 +126,9 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 	if cross && res.OK {
 		s.hold(sub)
 	}
+	if s.CrashPoint(CPExecProvisional, sub.Op) {
+		return
+	}
 
 	if cross || sub.Action.Mutating() {
 		rec := wal.Record{Type: wal.RecResult, Op: sub.Op, Role: sub.Role,
@@ -116,13 +138,35 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 		}
 		appendStart := s.Sim.Now()
 		s.WAL.Append(p, rec)
-		if s.Crashed() {
+		if s.CrashPoint(CPExecAppend, sub.Op) {
 			return
 		}
 		if s.cfg.Obs.TraceOn() {
 			s.cfg.Obs.Span(appendStart, s.Sim.Now()-appendStart, int(s.ID), sub.Op,
 				obs.PhaseAppend, "result-record")
 		}
+	}
+
+	if cross && s.tombstones[sub.Op] {
+		// The operation was aborted while this execution was in flight —
+		// typically a vote handler timed out waiting for this very sub-op
+		// (mid-append, arrivalSig not yet fired) and promised NO to the
+		// coordinator. Honor that promise: the execution must not become
+		// visible, or the client could complete an operation the cluster
+		// has already aborted. Undo the effects, seal the abort in the log
+		// so recovery agrees, and answer aborted.
+		if res.OK {
+			rows := s.rollback(res.Undo, res.Before)
+			s.releaseKeys(sub, sub.Op)
+			s.WAL.AppendBatchPriority(p, []wal.Record{{Type: wal.RecAbort, Op: sub.Op, Role: sub.Role}})
+			s.flushQ = append(s.flushQ, flushEntry{id: sub.Op, rows: rows})
+			if s.Crashed() {
+				return
+			}
+		}
+		s.Send(wire.Msg{Type: wire.MsgSubOpResp, To: m.From, Op: sub.Op,
+			OK: false, Err: types.ErrAborted.Error(), Epoch: epoch})
+		return
 	}
 
 	switch {
@@ -182,7 +226,11 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 		}
 		s.cfg.Obs.Emit(s.Sim.Now(), int(s.ID), sub.Op, obs.PhaseReply, detail)
 	}
+	if s.CrashPoint(CPExecBeforeReply, sub.Op) {
+		return
+	}
 	s.Send(reply)
+	s.CrashPoint(CPExecAfterReply, sub.Op)
 }
 
 // hold marks the sub-op's conflict key active.
@@ -286,7 +334,7 @@ func (s *Server) invalidate(p *simrt.Proc, victim types.OpID, afterOp types.OpID
 	}
 	s.releaseKeys(sub, victim)
 	s.WAL.AppendBatchPriority(p, []wal.Record{{Type: wal.RecInvalidate, Op: victim, Role: sub.Role}})
-	if s.Crashed() {
+	if s.CrashPoint(CPInvalidateMid, victim) {
 		return false
 	}
 	newEpoch := undo.epoch + 1
@@ -314,14 +362,41 @@ type undoRef struct {
 // placements landed on the same server (or a single-server compound). Both
 // sub-ops run locally as one transaction: Result-Records and a Commit-Record
 // land in one batched append, the rows flush with the next lazy batch.
+//
+// At-most-once for retrying clients: a completed operation answers from the
+// reply cache; a duplicate of one still executing (inflight) or parked
+// behind a conflict (blockedOf) or being re-driven by recovery
+// (pendingCoord) is dropped — the original owns the eventual reply.
 func (s *Server) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 	op := m.FullOp
-	if op.Kind == types.OpRename {
-		s.handleRename(p, m)
-		return
-	}
 	if op.Kind == types.OpReaddir {
 		s.ServeReaddir(m)
+		return
+	}
+	if op.Kind.Mutating() {
+		if cached, ok := s.replyCache[op.ID]; ok {
+			cached.To = m.From
+			s.Send(cached)
+			return
+		}
+		if s.localInflight[op.ID] || s.blockedOf[op.ID] != nil || s.pendingCoord[op.ID] != nil {
+			return
+		}
+	}
+	s.runLocalOp(p, m)
+}
+
+// runLocalOp is handleLocalOp past the duplicate gate; redispatch of a
+// previously parked OpReq re-enters here through handleLocalOp (its gate
+// entries were cleared on release).
+func (s *Server) runLocalOp(p *simrt.Proc, m wire.Msg) {
+	op := m.FullOp
+	if op.Kind.Mutating() {
+		s.localInflight[op.ID] = true
+		defer delete(s.localInflight, op.ID)
+	}
+	if op.Kind == types.OpRename {
+		s.handleRename(p, m)
 		return
 	}
 	var recs []wal.Record
@@ -388,6 +463,9 @@ func (s *Server) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 			return
 		}
 		s.flushQ = append(s.flushQ, flushEntry{id: op.ID, rows: rows})
+		// Durable state was created: retries must get this reply back, not
+		// a re-execution (which would wrongly fail, e.g. with ErrExists).
+		s.cacheReply(op.ID, reply)
 	}
 	s.Send(reply)
 }

@@ -39,6 +39,7 @@ import (
 // quiesces the workload before crashing, so no new requests interleave.
 func (s *Server) Recover(p *simrt.Proc) time.Duration {
 	start := s.Sim.Now()
+	boot := s.Boot()
 	s.recovering = true
 	defer func() { s.recovering = false }()
 
@@ -53,6 +54,7 @@ func (s *Server) Recover(p *simrt.Proc) time.Duration {
 	s.arrivalSig = make(map[types.OpID][]*simrt.Chan[struct{}])
 	s.flushQ = nil
 	s.wantCommit = make(map[types.OpID]wantEntry)
+	s.localInflight = make(map[types.OpID]bool)
 
 	// Fixed phase: confirm the crash and freeze the file system (§V: "it
 	// informs all other collaborating servers to go into the recovery
@@ -129,6 +131,23 @@ func (s *Server) Recover(p *simrt.Proc) time.Duration {
 	for _, id := range order {
 		st := states[id]
 		if st.completed {
+			// The records are still in the log, which means the operation's
+			// database write-back had not drained when the server died (the
+			// flush queue is volatile; prune follows flush). Redo from the
+			// images before pruning, or the committed rows are lost.
+			for _, r := range st.results {
+				if !r.valid || !r.ok {
+					continue
+				}
+				if st.committed {
+					s.Shard.InstallImages(r.after)
+				} else {
+					s.Shard.InstallImages(r.before)
+				}
+			}
+			// Retried requests for this op must see its sealed outcome, not
+			// a fresh execution.
+			s.cacheReply(id, finalReply(id, wire.Msg{}, st.committed, id.Proc.Client))
 			s.WAL.Prune(id)
 			continue
 		}
@@ -150,6 +169,7 @@ func (s *Server) Recover(p *simrt.Proc) time.Duration {
 					s.Shard.InstallImages(r.before)
 				}
 			}
+			s.cacheReply(id, finalReply(id, wire.Msg{}, st.committed, id.Proc.Client))
 			switch {
 			case local:
 				s.WAL.Prune(id) // single-server transaction: decision is final
@@ -244,7 +264,7 @@ func (s *Server) Recover(p *simrt.Proc) time.Duration {
 	// participant acknowledges, then complete.
 	for _, r := range resume {
 		decisions := []wire.Decision{{Op: r.id, Commit: r.committed}}
-		s.rpcAck(p, r.participant, []types.OpID{r.id}, decisions)
+		s.rpcAck(p, boot, r.participant, []types.OpID{r.id}, decisions)
 		s.WAL.AppendBatchPriority(p, []wal.Record{{Type: wal.RecComplete, Op: r.id, Role: types.RoleCoordinator}})
 		s.WAL.Prune(r.id)
 		if r.committed {
@@ -255,25 +275,32 @@ func (s *Server) Recover(p *simrt.Proc) time.Duration {
 		}
 	}
 
-	// Undecided coordinator operations: run an immediate commitment batch
-	// and wait for all of them to finish.
-	var waits []*simrt.Chan[struct{}]
-	for _, id := range undecidedCoord {
-		waits = append(waits, s.waitChan(s.completeSig, id))
-	}
+	// Undecided coordinator operations: run an immediate commitment batch.
 	if len(undecidedCoord) > 0 {
 		s.stats.ImmediateCommits++
 		s.kick.Send(kickReq{ops: undecidedCoord})
 	}
 	// Undecided participant operations: nudge their coordinators.
 	for _, id := range undecidedPart {
-		waits = append(waits, s.waitChan(s.completeSig, id))
 		if po := s.pendingPart[id]; po != nil {
 			s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: po.coordinator, Op: id})
 		}
 	}
-	for _, ch := range waits {
-		ch.Recv(p)
+	// Wait until every undecided operation's fate is sealed here. The commit
+	// daemon runs concurrently and may finish a rebuilt operation while this
+	// proc is still in the resume loop above — before a one-shot completion
+	// signal could be registered — so poll the pending tables and use the
+	// signal only as a wakeup, re-nudging a participant op whose C-NOTIFY
+	// (or its answer) was lost to link faults.
+	for _, id := range append(append([]types.OpID{}, undecidedCoord...), undecidedPart...) {
+		for s.pendingCoord[id] != nil || s.pendingPart[id] != nil {
+			ch := s.waitChan(s.completeSig, id)
+			if _, ok := ch.RecvTimeout(p, s.lazyPeriod()); !ok {
+				if po := s.pendingPart[id]; po != nil && !po.committing {
+					s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: po.coordinator, Op: id})
+				}
+			}
+		}
 	}
 	// Flush whatever the resumed commitments dirtied.
 	s.KV.FlushDirty(p)

@@ -42,6 +42,7 @@ func (s *Server) renameRoutes() (map[types.OpID]*simrt.Chan[wire.Msg], map[types
 // handleRename coordinates one rename transaction; m.FullOp carries the
 // operation, and this server owns the source entry.
 func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
+	boot := s.Boot()
 	op := m.FullOp
 	reply := wire.Msg{Type: wire.MsgOpResp, To: m.From, Op: op.ID, OK: true}
 	if s.tombstones[op.ID] {
@@ -78,7 +79,7 @@ func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
 	s.hold(srcSub)
 	s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleCoordinator,
 		OK: true, Sub: srcSub, Before: resSrc.Before, After: resSrc.After, Peer: dst, HasPeer: true})
-	if s.Crashed() {
+	if s.Gone(boot) {
 		return
 	}
 	// Register as a committing coordinator op so C-NOTIFY/L-COM find it and
@@ -90,11 +91,11 @@ func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
 	var dstOK bool
 	var dstErr string
 	if local {
-		dstOK, dstErr = s.renameLocalInsert(p, op, dstSub)
+		dstOK, dstErr = s.renameLocalInsert(p, boot, op, dstSub)
 	} else {
-		dstOK, dstErr = s.renameRemoteInsert(p, op, dstSub, dst)
+		dstOK, dstErr = s.renameRemoteInsert(p, boot, op, dstSub, dst)
 	}
-	if s.Crashed() {
+	if s.Gone(boot) {
 		return
 	}
 
@@ -104,7 +105,7 @@ func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
 		decType = wal.RecCommit
 	}
 	s.WAL.AppendBatchPriority(p, []wal.Record{{Type: decType, Op: op.ID, Role: types.RoleCoordinator}})
-	if s.Crashed() {
+	if s.Gone(boot) {
 		return
 	}
 	var flushRows []string
@@ -117,14 +118,14 @@ func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
 
 	if !local {
 		// Deliver the decision until acknowledged.
-		s.renameDecision(p, op.ID, dst, commit)
-		if s.Crashed() {
+		s.renameDecision(p, boot, op.ID, dst, commit)
+		if s.Gone(boot) {
 			return
 		}
 	}
 
 	s.WAL.AppendBatchPriority(p, []wal.Record{{Type: wal.RecComplete, Op: op.ID, Role: types.RoleCoordinator}})
-	if s.Crashed() {
+	if s.Gone(boot) {
 		return
 	}
 	delete(s.pendingCoord, op.ID)
@@ -142,44 +143,55 @@ func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
 			reply.Err = types.ErrAborted.Error()
 		}
 	}
+	// The outcome is sealed: retried requests must see this reply, never a
+	// re-execution.
+	s.cacheReply(op.ID, reply)
 	s.Send(reply)
 }
 
 // renameLocalInsert executes the destination insert on this same server.
-func (s *Server) renameLocalInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp) (bool, string) {
-	ok, err, _ := s.renameExecInsert(p, op, dstSub, s.ID)
+func (s *Server) renameLocalInsert(p *simrt.Proc, boot uint64, op types.Op, dstSub types.SubOp) (bool, string) {
+	ok, err, _ := s.renameExecInsert(p, boot, op, dstSub, s.ID)
 	return ok, err
 }
 
 // renameRemoteInsert drives the VOTE round against the destination server,
 // retrying across its crashes.
-func (s *Server) renameRemoteInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp, dst types.NodeID) (bool, string) {
+func (s *Server) renameRemoteInsert(p *simrt.Proc, boot uint64, op types.Op, dstSub types.SubOp, dst types.NodeID) (bool, string) {
 	votes, _ := s.renameRoutes()
 	ch := simrt.NewChan[wire.Msg](s.Sim)
 	votes[op.ID] = ch
-	defer delete(votes, op.ID)
+	defer func() {
+		if votes[op.ID] == ch {
+			delete(votes, op.ID)
+		}
+	}()
 	for {
 		s.Send(wire.Msg{Type: wire.MsgVote, To: dst, Op: op.ID, Sub: dstSub,
 			Peer: s.ID, ReplyProc: op.ID.Proc})
 		if m, got := ch.RecvTimeout(p, s.cfg.RetryInterval+s.cfg.VoteWait); got {
 			return m.OK, m.Err
 		}
-		if s.Crashed() {
+		if s.Gone(boot) {
 			return false, ""
 		}
 	}
 }
 
 // renameDecision delivers the commit/abort to the destination until acked.
-func (s *Server) renameDecision(p *simrt.Proc, id types.OpID, dst types.NodeID, commit bool) {
+func (s *Server) renameDecision(p *simrt.Proc, boot uint64, id types.OpID, dst types.NodeID, commit bool) {
 	_, acks := s.renameRoutes()
 	ch := simrt.NewChan[wire.Msg](s.Sim)
 	acks[id] = ch
-	defer delete(acks, id)
+	defer func() {
+		if acks[id] == ch {
+			delete(acks, id)
+		}
+	}()
 	for {
 		s.Send(wire.Msg{Type: wire.MsgCommitReq, To: dst, Op: id,
 			Decisions: []wire.Decision{{Op: id, Commit: commit}}})
-		if _, got := ch.RecvTimeout(p, s.cfg.RetryInterval); got || s.Crashed() {
+		if _, got := ch.RecvTimeout(p, s.cfg.RetryInterval); got || s.Gone(boot) {
 			return
 		}
 	}
@@ -199,9 +211,10 @@ func (s *Server) handleRenameVote(p *simrt.Proc, m wire.Msg) {
 		s.Send(wire.Msg{Type: wire.MsgVoteResp, To: m.From, Op: id, OK: false, Err: types.ErrAborted.Error()})
 		return
 	}
+	boot := s.Boot()
 	op := types.Op{ID: id, Kind: types.OpRename}
-	ok, errStr, registered := s.renameExecInsert(p, op, m.Sub, m.From)
-	if s.Crashed() {
+	ok, errStr, registered := s.renameExecInsert(p, boot, op, m.Sub, m.From)
+	if s.Gone(boot) {
 		return
 	}
 	resp := wire.Msg{Type: wire.MsgVoteResp, To: m.From, Op: id, OK: ok, Err: errStr}
@@ -212,7 +225,7 @@ func (s *Server) handleRenameVote(p *simrt.Proc, m wire.Msg) {
 // renameExecInsert performs the destination insert with conflict
 // resolution; on success the execution registers in pendingPart (remote
 // coordinator case) so COMMIT-REQ/recovery complete it.
-func (s *Server) renameExecInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp, coordNode types.NodeID) (bool, string, bool) {
+func (s *Server) renameExecInsert(p *simrt.Proc, boot uint64, op types.Op, dstSub types.SubOp, coordNode types.NodeID) (bool, string, bool) {
 	deadline := s.Sim.Now() + s.cfg.VoteWait
 	for {
 		key, _ := conflictKey(dstSub)
@@ -227,7 +240,7 @@ func (s *Server) renameExecInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp
 		}
 		ch := s.waitChan(s.completeSig, holder)
 		ch.RecvTimeout(p, remaining)
-		if s.Crashed() {
+		if s.Gone(boot) {
 			return false, "", false
 		}
 	}
@@ -239,7 +252,7 @@ func (s *Server) renameExecInsert(p *simrt.Proc, op types.Op, dstSub types.SubOp
 	s.hold(dstSub)
 	s.WAL.Append(p, wal.Record{Type: wal.RecResult, Op: dstSub.Op, Role: types.RoleParticipant,
 		OK: true, Sub: dstSub, Before: res.Before, After: res.After, Peer: coordNode, HasPeer: true})
-	if s.Crashed() {
+	if s.Gone(boot) {
 		return false, "", false
 	}
 	if coordNode != s.ID {

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
+	"strings"
 
 	"cxfs/internal/kvstore"
 	"cxfs/internal/types"
@@ -300,17 +302,21 @@ func (sh *Shard) Fsck() int {
 	counts := make(map[types.InodeID]uint64)
 	var dirs []types.InodeID
 	sh.kv.Range(func(key string, _ []byte) bool {
-		var dir uint64
-		var rest string
-		if n, err := fmt.Sscanf(key, "d/%d/%s", &dir, &rest); err == nil && n == 2 {
-			counts[types.InodeID(dir)]++
+		// "d/<dir>/<name>": split on the first two slashes only, so names
+		// containing spaces (which Sscanf's %s would truncate) still count.
+		if rest, ok := strings.CutPrefix(key, "d/"); ok {
+			dirStr, _, found := strings.Cut(rest, "/")
+			if dir, err := strconv.ParseUint(dirStr, 10, 64); found && err == nil {
+				counts[types.InodeID(dir)]++
+			}
 		}
 		return true
 	})
 	sh.kv.Range(func(key string, _ []byte) bool {
-		var ino uint64
-		if n, err := fmt.Sscanf(key, "i/%d", &ino); err == nil && n == 1 {
-			dirs = append(dirs, types.InodeID(ino))
+		if inoStr, ok := strings.CutPrefix(key, "i/"); ok {
+			if ino, err := strconv.ParseUint(inoStr, 10, 64); err == nil {
+				dirs = append(dirs, types.InodeID(ino))
+			}
 		}
 		return true
 	})

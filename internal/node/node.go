@@ -82,9 +82,39 @@ type Base struct {
 	inbox         *simrt.Chan[wire.Msg]
 	handler       Handler
 	crashed       bool
+	boot          uint64 // incarnation number, bumped at every Reboot
 	needsRecovery bool
+	crashFn       CrashPointFn
 
 	stats Stats
+}
+
+// CrashPointFn decides whether the server should crash at a named protocol
+// step. It is consulted on every CrashPoint call with the point's name and
+// the operation being processed; returning true crashes the server at
+// exactly that step. Tests install one with SetCrashPoint to reproduce
+// partial-failure states deterministically.
+type CrashPointFn func(point string, op types.OpID) bool
+
+// SetCrashPoint installs (or, with nil, removes) the crash-point hook.
+func (b *Base) SetCrashPoint(fn CrashPointFn) { b.crashFn = fn }
+
+// CrashPoint gives the installed hook a chance to crash the server at the
+// named protocol step, then reports whether the server is (now) crashed.
+// Protocol code calls it at each phase boundary:
+//
+//	if s.CrashPoint("exec:after-append", op) {
+//	    return // crashed mid-protocol; recovery takes over after reboot
+//	}
+//
+// With no hook installed it reduces to the plain Crashed() check, so the
+// call sites double as the "silence in-flight handlers after a concurrent
+// whole-node crash" guards.
+func (b *Base) CrashPoint(point string, op types.OpID) bool {
+	if b.crashFn != nil && !b.crashed && b.crashFn(point, op) {
+		b.Crash()
+	}
+	return b.crashed
 }
 
 // NewBase builds a server's hardware and registers its inbox.
@@ -192,11 +222,24 @@ func (b *Base) RecoveryDone() { b.needsRecovery = false }
 // recovery (log scan, commitment resumption) is the embedding server's job;
 // until it completes, NeedsRecovery stays set.
 func (b *Base) Reboot() {
+	b.boot++
 	b.KV.Recover()
 	b.WAL.Reboot()
 	b.crashed = false
 	b.Net.SetDown(b.ID, false)
 }
+
+// Boot returns the server's incarnation number.
+func (b *Base) Boot() uint64 { return b.boot }
+
+// Gone reports whether the server has crashed, or has rebooted into a new
+// incarnation since boot was captured. A crash does not kill in-flight
+// protocol procs — ones parked on timers or reply channels wake after the
+// reboot, when Crashed() is false again — so any proc that can sleep across
+// a crash must check Gone(boot) instead of Crashed(): acting on (or
+// registering reply routes over) state from a previous incarnation corrupts
+// the rebuilt one.
+func (b *Base) Gone(boot uint64) bool { return b.crashed || b.boot != boot }
 
 // ServeReaddir answers a readdir request against this server's namespace
 // partition: directories are striped by entry hash, so each server returns

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+	"cxfs/internal/wire"
+)
+
+// runLossy sends count messages 0->1 over a link with the given faults and
+// returns the sequence numbers delivered (in arrival order) plus the final
+// stats. The receiver drains until the simulation goes quiet.
+func runLossy(seed int64, f Faults, count int) ([]uint64, Stats) {
+	s := simrt.New(seed)
+	n := New(s, DefaultParams())
+	box := n.Register(1)
+	n.Register(0)
+	n.SetLinkFaults(0, 1, f)
+	var seqs []uint64
+	s.Spawn("recv", func(p *simrt.Proc) {
+		for {
+			m, ok := box.RecvTimeout(p, time.Second)
+			if !ok {
+				s.Stop()
+				return
+			}
+			seqs = append(seqs, m.Op.Seq)
+		}
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		for i := 0; i < count; i++ {
+			n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1, Op: types.OpID{Seq: uint64(i)}})
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+	s.RunUntil(time.Hour)
+	st := n.Stats()
+	s.Shutdown()
+	return seqs, st
+}
+
+func TestLinkDropFaultLosesMessagesAndCounts(t *testing.T) {
+	seqs, st := runLossy(7, Faults{DropProb: 0.3}, 200)
+	if st.DroppedFault == 0 {
+		t.Fatalf("no messages dropped at DropProb=0.3")
+	}
+	if uint64(len(seqs))+st.DroppedFault != 200 {
+		t.Errorf("delivered %d + dropped %d != sent 200", len(seqs), st.DroppedFault)
+	}
+	if st.Messages != 200 {
+		t.Errorf("Messages=%d, want 200 (drops still count as sent)", st.Messages)
+	}
+}
+
+func TestLinkDupFaultDeliversExtraCopies(t *testing.T) {
+	seqs, st := runLossy(7, Faults{DupProb: 0.5}, 100)
+	if st.Duplicated == 0 {
+		t.Fatalf("no duplicates at DupProb=0.5")
+	}
+	if uint64(len(seqs)) != 100+st.Duplicated {
+		t.Errorf("delivered %d, want 100 sent + %d duplicated", len(seqs), st.Duplicated)
+	}
+	if st.Messages != 100 {
+		t.Errorf("Messages=%d, want 100 (copies are not counted as sends)", st.Messages)
+	}
+}
+
+func TestLinkDelayFaultReordersSameSender(t *testing.T) {
+	// A large injected delay relative to the send spacing must reorder some
+	// messages from a single sender — the weakened-FIFO property the Cx
+	// protocol layer is required to tolerate.
+	seqs, st := runLossy(7, Faults{DelayProb: 0.5, DelayMax: time.Millisecond}, 200)
+	if st.Delayed == 0 {
+		t.Fatalf("no messages delayed at DelayProb=0.5")
+	}
+	if len(seqs) != 200 {
+		t.Fatalf("delivered %d, want all 200 (delay never drops)", len(seqs))
+	}
+	reordered := false
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Errorf("no reordering observed despite %d injected delays", st.Delayed)
+	}
+}
+
+func TestDirectedPartitionDropsOneDirectionOnly(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	box0 := n.Register(0)
+	box1 := n.Register(1)
+	n.Partition(0, 1) // cut 0->1 only
+	var got01, got10 int
+	s.Spawn("recv0", func(p *simrt.Proc) {
+		for {
+			if _, ok := box0.RecvTimeout(p, time.Second); !ok {
+				return
+			}
+			got10++
+		}
+	})
+	s.Spawn("recv1", func(p *simrt.Proc) {
+		for {
+			if _, ok := box1.RecvTimeout(p, time.Second); !ok {
+				s.Stop()
+				return
+			}
+			got01++
+		}
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		for i := 0; i < 10; i++ {
+			n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+			n.Send(wire.Msg{Type: wire.MsgAck, From: 1, To: 0})
+		}
+		if !n.Partitioned(0, 1) || n.Partitioned(1, 0) {
+			t.Errorf("partition state wrong: 0->1=%v 1->0=%v", n.Partitioned(0, 1), n.Partitioned(1, 0))
+		}
+		n.Heal(0, 1)
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+	})
+	s.RunUntil(time.Hour)
+	st := n.Stats()
+	s.Shutdown()
+	if got01 != 1 {
+		t.Errorf("0->1 delivered %d, want only the 1 post-heal message", got01)
+	}
+	if got10 != 10 {
+		t.Errorf("1->0 delivered %d, want all 10 (reverse direction unaffected)", got10)
+	}
+	if st.DroppedPartition != 10 {
+		t.Errorf("DroppedPartition=%d, want 10", st.DroppedPartition)
+	}
+}
+
+func TestFaultPatternDeterministicPerSeed(t *testing.T) {
+	f := Faults{DropProb: 0.2, DupProb: 0.2, DelayProb: 0.2, DelayMax: 500 * time.Microsecond}
+	a, sa := runLossy(42, f, 300)
+	b, sb := runLossy(42, f, 300)
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delivery %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if sa != sb {
+		t.Errorf("same seed produced different stats:\n%+v\n%+v", sa, sb)
+	}
+	c, _ := runLossy(43, f, 300)
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced the identical delivery schedule")
+		}
+	}
+}
+
+func TestClearFaultsRestoresLossless(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	box := n.Register(1)
+	n.Register(0)
+	n.SetDefaultFaults(Faults{DropProb: 1.0})
+	n.SetLinkFaults(0, 1, Faults{DropProb: 1.0})
+	var got int
+	s.Spawn("recv", func(p *simrt.Proc) {
+		for {
+			if _, ok := box.RecvTimeout(p, time.Second); !ok {
+				s.Stop()
+				return
+			}
+			got++
+		}
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+		n.ClearFaults()
+		n.Send(wire.Msg{Type: wire.MsgAck, From: 0, To: 1})
+	})
+	s.RunUntil(time.Hour)
+	st := n.Stats()
+	s.Shutdown()
+	if got != 1 || st.DroppedFault != 1 {
+		t.Errorf("delivered=%d droppedFault=%d, want 1 and 1", got, st.DroppedFault)
+	}
+}

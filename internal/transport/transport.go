@@ -12,6 +12,14 @@
 // which the Cx disordered-conflict machinery does NOT rely on across
 // *different* senders: two processes' sub-ops may arrive at the two servers
 // in opposite orders, which is exactly the disordered case of §III.C.
+// Fault injection weakens this further: a link with a non-zero DelayProb
+// may reorder messages from the same sender, and DupProb may deliver a
+// message twice. Protocol code must tolerate both.
+//
+// Faults are configured per directed link (SetLinkFaults) or as a default
+// for all links (SetDefaultFaults), and directed partitions cut a link
+// entirely (Partition/Heal). All randomness comes from the simulation's
+// seeded RNG, so a given seed reproduces the exact same loss pattern.
 package transport
 
 import (
@@ -54,6 +62,15 @@ type Stats struct {
 	// DroppedUnroutable counts messages addressed to a node that was never
 	// registered — a stale route, not a fatal simulation error.
 	DroppedUnroutable uint64
+	// DroppedFault counts messages lost to an injected link drop fault.
+	DroppedFault uint64
+	// DroppedPartition counts messages lost to a directed partition.
+	DroppedPartition uint64
+	// Duplicated counts extra copies delivered by a duplicate fault (the
+	// copies themselves are not counted in Messages).
+	Duplicated uint64
+	// Delayed counts messages that drew an extra injected delay.
+	Delayed uint64
 }
 
 // Total returns the total message count (convenience for Table IV).
@@ -66,12 +83,44 @@ func (s Stats) Sub(earlier Stats) Stats {
 		Bytes:             s.Bytes - earlier.Bytes,
 		DroppedDown:       s.DroppedDown - earlier.DroppedDown,
 		DroppedUnroutable: s.DroppedUnroutable - earlier.DroppedUnroutable,
+		DroppedFault:      s.DroppedFault - earlier.DroppedFault,
+		DroppedPartition:  s.DroppedPartition - earlier.DroppedPartition,
+		Duplicated:        s.Duplicated - earlier.Duplicated,
+		Delayed:           s.Delayed - earlier.Delayed,
 	}
 	for i := range s.ByType {
 		out.ByType[i] = s.ByType[i] - earlier.ByType[i]
 	}
 	return out
 }
+
+// Faults is the per-link fault model. Probabilities are in [0,1] and are
+// drawn independently per message in a fixed order (drop, then duplicate,
+// then delay) from the simulation RNG, so a seed fully determines the
+// fault pattern.
+type Faults struct {
+	// DropProb is the probability a message is silently lost.
+	DropProb float64
+	// DupProb is the probability a second copy of the message is delivered
+	// (after its own independently-drawn extra delay, so the copies may
+	// arrive in either order).
+	DupProb float64
+	// DelayProb is the probability a message is held for an extra uniform
+	// [0, DelayMax) beyond the modeled network delay, which can reorder it
+	// behind later messages from the same sender.
+	DelayProb float64
+	// DelayMax bounds the injected extra delay. Zero disables delays even
+	// if DelayProb is set.
+	DelayMax time.Duration
+}
+
+// Active reports whether the fault spec can affect any message.
+func (f Faults) Active() bool {
+	return f.DropProb > 0 || f.DupProb > 0 || (f.DelayProb > 0 && f.DelayMax > 0)
+}
+
+// link is a directed sender->receiver pair.
+type link struct{ from, to types.NodeID }
 
 // Net is the simulated network.
 type Net struct {
@@ -81,6 +130,10 @@ type Net struct {
 	down   map[types.NodeID]bool
 	stats  Stats
 	tap    func(wire.Msg)
+
+	defaultFaults Faults
+	linkFaults    map[link]Faults
+	cuts          map[link]bool
 }
 
 // SetTap installs an observer invoked (synchronously, in simulation
@@ -116,6 +169,57 @@ func (n *Net) SetDown(node types.NodeID, down bool) { n.down[node] = down }
 // Down reports whether a node is marked crashed.
 func (n *Net) Down(node types.NodeID) bool { return n.down[node] }
 
+// SetDefaultFaults installs a fault spec applied to every link that has no
+// per-link override. Pass the zero Faults to clear.
+func (n *Net) SetDefaultFaults(f Faults) { n.defaultFaults = f }
+
+// SetLinkFaults installs a fault spec for the directed link from->to,
+// overriding the default. Pass the zero Faults to restore the default on
+// that link (the override is removed).
+func (n *Net) SetLinkFaults(from, to types.NodeID, f Faults) {
+	if n.linkFaults == nil {
+		n.linkFaults = make(map[link]Faults)
+	}
+	if !f.Active() {
+		delete(n.linkFaults, link{from, to})
+		return
+	}
+	n.linkFaults[link{from, to}] = f
+}
+
+// ClearFaults removes the default spec and every per-link override.
+// Partitions are separate; see HealAll.
+func (n *Net) ClearFaults() {
+	n.defaultFaults = Faults{}
+	n.linkFaults = nil
+}
+
+// Partition cuts the directed link a->b: every message from a to b is
+// dropped until Heal. Call twice (both directions) for a full partition.
+func (n *Net) Partition(a, b types.NodeID) {
+	if n.cuts == nil {
+		n.cuts = make(map[link]bool)
+	}
+	n.cuts[link{a, b}] = true
+}
+
+// Heal restores the directed link a->b.
+func (n *Net) Heal(a, b types.NodeID) { delete(n.cuts, link{a, b}) }
+
+// HealAll restores every partitioned link.
+func (n *Net) HealAll() { n.cuts = nil }
+
+// Partitioned reports whether the directed link a->b is cut.
+func (n *Net) Partitioned(a, b types.NodeID) bool { return n.cuts[link{a, b}] }
+
+// faultsFor returns the effective fault spec for one directed link.
+func (n *Net) faultsFor(from, to types.NodeID) Faults {
+	if f, ok := n.linkFaults[link{from, to}]; ok {
+		return f
+	}
+	return n.defaultFaults
+}
+
 // Send transmits msg to msg.To after the modeled delay. It must be called
 // from inside the simulation. The sender's Proc is not blocked (the NIC
 // DMA's asynchronously); the CPU overhead is charged as added latency.
@@ -136,8 +240,39 @@ func (n *Net) Send(msg wire.Msg) {
 	if int(msg.Type) < len(n.stats.ByType) {
 		n.stats.ByType[msg.Type]++
 	}
+	if n.cuts[link{msg.From, msg.To}] {
+		n.stats.DroppedPartition++
+		return
+	}
 	delay := n.params.CPUOverhead + n.params.Latency +
 		time.Duration(size*int64(time.Second)/n.params.Bandwidth)
+	// Draw faults in a fixed order so a seed reproduces the same pattern
+	// regardless of which faults are enabled elsewhere on the link.
+	if f := n.faultsFor(msg.From, msg.To); f.Active() {
+		rng := n.sim.Rand()
+		if f.DropProb > 0 && rng.Float64() < f.DropProb {
+			n.stats.DroppedFault++
+			return
+		}
+		if f.DupProb > 0 && rng.Float64() < f.DupProb {
+			n.stats.Duplicated++
+			extra := time.Duration(0)
+			if f.DelayMax > 0 {
+				extra = time.Duration(rng.Int63n(int64(f.DelayMax)))
+			}
+			n.deliver(box, msg, delay+extra)
+		}
+		if f.DelayProb > 0 && f.DelayMax > 0 && rng.Float64() < f.DelayProb {
+			n.stats.Delayed++
+			delay += time.Duration(rng.Int63n(int64(f.DelayMax)))
+		}
+	}
+	n.deliver(box, msg, delay)
+}
+
+// deliver schedules one copy of msg after delay, dropping it if the
+// destination is down at arrival time.
+func (n *Net) deliver(box *simrt.Chan[wire.Msg], msg wire.Msg, delay time.Duration) {
 	n.sim.After(delay, func() {
 		if n.down[msg.To] {
 			n.stats.DroppedDown++ // dropped at the dead NIC

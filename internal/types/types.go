@@ -12,6 +12,7 @@ package types
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // NodeID identifies a node (metadata server or client host) in the cluster.
@@ -277,4 +278,60 @@ var (
 	// ErrInvalidated reports a sub-op response superseded by invalidation
 	// during disordered-conflict handling.
 	ErrInvalidated = errors.New("execution invalidated")
+	// ErrTimeout reports that a client exhausted its retry budget without
+	// receiving a reply. The operation's outcome is UNKNOWN: it may have
+	// executed (and even committed) on the servers. Callers must not treat
+	// it as a definite failure.
+	ErrTimeout = errors.New("operation timed out (outcome unknown)")
 )
+
+// RetryPolicy governs client-side RPC timeouts and retries. The zero value
+// disables retries entirely: the client blocks until a reply arrives, which
+// is the correct behavior on a fault-free network (and what benchmarks use).
+// With a non-zero Timeout the client retransmits after each timeout with
+// exponential backoff, relying on server-side duplicate suppression for
+// at-most-once effects, and gives up with ErrTimeout after Attempts tries.
+type RetryPolicy struct {
+	// Timeout is the wait for the first attempt's reply. Zero disables
+	// timeouts and retries.
+	Timeout time.Duration
+	// MaxTimeout caps the exponential backoff. Zero means 8*Timeout.
+	MaxTimeout time.Duration
+	// Attempts is the total number of tries (first send included) before
+	// the client gives up with ErrTimeout. Zero means 6.
+	Attempts int
+}
+
+// Enabled reports whether the policy actually retries.
+func (r RetryPolicy) Enabled() bool { return r.Timeout > 0 }
+
+// MaxAttempts returns the effective attempt budget.
+func (r RetryPolicy) MaxAttempts() int {
+	if r.Attempts > 0 {
+		return r.Attempts
+	}
+	return 6
+}
+
+// WaitFor returns the reply wait for the given zero-based attempt:
+// Timeout doubled per attempt, capped at MaxTimeout.
+func (r RetryPolicy) WaitFor(attempt int) time.Duration {
+	d := r.Timeout
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= r.maxWait() {
+			return r.maxWait()
+		}
+	}
+	if m := r.maxWait(); d > m {
+		return m
+	}
+	return d
+}
+
+func (r RetryPolicy) maxWait() time.Duration {
+	if r.MaxTimeout > 0 {
+		return r.MaxTimeout
+	}
+	return 8 * r.Timeout
+}
