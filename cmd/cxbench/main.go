@@ -11,9 +11,13 @@
 //
 // Experiments: table2, table4, table5, fig4, fig5, fig6, fig7a, fig7b,
 // fig8, fig9a, fig9b, protocols (extension: 2PC and CE in the comparison),
+// metarates (extension: eager vs lazy commitment vs WAL group commit vs
+// pipelined dispatch on the update-dominated mix; -pipeline/-linger/-adaptive
+// size it and -json FILE dumps the rows for CI artifacts),
 // chaos (fault-injection run: crashes, crash-points, partitions, lossy
 // links; prints the nemesis schedule and a deterministic fingerprint —
-// the same seed and flags always reproduce the identical report).
+// the same seed and flags always reproduce the identical report; -pipeline
+// and -linger carry into the chaos workload and WALs too).
 // Each prints a table whose rows mirror the paper's; EXPERIMENTS.md records
 // the paper-vs-measured comparison.
 //
@@ -26,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,7 +50,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|latency|triggers|chaos|all)")
+		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|metarates|latency|triggers|chaos|all)")
 		scale    = flag.Float64("scale", 0.004, "fraction of each paper trace's op count to replay")
 		servers  = flag.Int("servers", 8, "metadata servers for trace-driven experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -53,6 +58,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write protocol-phase events as Chrome trace_event JSON to this file")
 		duration = flag.Duration("duration", 1500*time.Millisecond, "chaos: nemesis active window")
 		fltRate  = flag.Float64("faultrate", 1.0, "chaos: scale factor on the lossy-link probabilities")
+		pipeline = flag.Int("pipeline", 0, "client dispatch depth for metarates/chaos (0 or 1 = classic closed loop)")
+		linger   = flag.Duration("linger", 0, "WAL group-commit linger window (0 = flush each append directly)")
+		adaptive = flag.Bool("adaptive", false, "metarates: add the adaptive-lazy-period row")
+		jsonOut  = flag.String("json", "", "metarates: also write the rows as JSON to this file")
 	)
 	flag.Parse()
 
@@ -62,14 +71,16 @@ func main() {
 	}
 
 	cfg := harness.Config{Scale: *scale, Servers: *servers, Seed: *seed, Obs: obsv}
-	ccfg := chaos.Config{Seed: *seed, Duration: *duration, FaultRate: *fltRate}
+	ccfg := chaos.Config{Seed: *seed, Duration: *duration, FaultRate: *fltRate,
+		Pipeline: *pipeline, GroupLinger: *linger}
+	bo := benchOpts{pipeline: *pipeline, linger: *linger, adaptive: *adaptive, jsonOut: *jsonOut}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "latency", "triggers"}
+		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "metarates", "latency", "triggers"}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := run(id, cfg, ccfg); err != nil {
+		if err := run(id, cfg, ccfg, bo); err != nil {
 			fmt.Fprintf(os.Stderr, "cxbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -87,8 +98,27 @@ func main() {
 	}
 }
 
-func run(id string, cfg harness.Config, ccfg chaos.Config) error {
+// benchOpts carries the group-commit/pipelining knobs into experiments
+// that understand them.
+type benchOpts struct {
+	pipeline int
+	linger   time.Duration
+	adaptive bool
+	jsonOut  string
+}
+
+func run(id string, cfg harness.Config, ccfg chaos.Config, bo benchOpts) error {
 	switch id {
+	case "metarates":
+		rows, tbl := harness.MetaratesGroupCommit(cfg, harness.MetaratesGCOpts{
+			Pipeline: bo.pipeline, Linger: bo.linger, Adaptive: bo.adaptive})
+		fmt.Println(tbl)
+		if bo.jsonOut != "" {
+			if err := writeRowsJSON(bo.jsonOut, rows); err != nil {
+				return err
+			}
+			fmt.Printf("metarates: %d rows -> %s\n", len(rows), bo.jsonOut)
+		}
 	case "chaos":
 		rep := chaos.Run(ccfg)
 		fmt.Print(rep.String())
@@ -168,6 +198,21 @@ func protocolsExtension(cfg harness.Config) *stats.Table {
 		tbl.Add(string(proto), res.ReplayTime, res.Messages, stats.Pct(stats.Improvement(base, res.ReplayTime)))
 	}
 	return tbl
+}
+
+// writeRowsJSON dumps the metarates comparison rows for CI artifacts.
+func writeRowsJSON(path string, rows []harness.MetaratesGCRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace runs the disorder probe (so the trace is guaranteed to contain

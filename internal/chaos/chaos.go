@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cxfs/internal/cluster"
+	"cxfs/internal/model"
 	"cxfs/internal/simrt"
 	"cxfs/internal/transport"
 	"cxfs/internal/types"
@@ -40,6 +41,14 @@ type Config struct {
 	Seed         int64         // simulation + nemesis + workload seed
 	Duration     time.Duration // nemesis active window (default 1.5s)
 	FaultRate    float64       // scales link-fault probabilities (default 1.0)
+	// Pipeline > 1 switches every worker to pipelined dispatch: up to that
+	// many operations in flight per process, with per-name sequencing
+	// preserved so the oracle stays valid. <= 1 keeps the classic
+	// one-op-at-a-time loop.
+	Pipeline int
+	// GroupLinger > 0 enables cross-proc WAL group commit on every server
+	// (see cluster.Options.GroupLinger).
+	GroupLinger time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +60,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpsPerWorker <= 0 {
 		c.OpsPerWorker = 30
+		// Pipelined workers drain a fixed op budget several times faster
+		// than the closed loop, which would end the run before the nemesis
+		// (first event ~25ms in) gets a real window. Scale the default
+		// budget by the depth so fault exposure stays comparable; an
+		// explicit OpsPerWorker is always honored as given.
+		if c.Pipeline > 1 {
+			c.OpsPerWorker *= c.Pipeline
+		}
 	}
 	if c.Duration <= 0 {
 		c.Duration = 1500 * time.Millisecond
@@ -89,6 +106,19 @@ type Report struct {
 	Hung       bool     // the run never reached verification
 	Elapsed    time.Duration
 	Net        transport.Stats
+
+	// History is every client observation in completion order; the model
+	// oracle (internal/model) replays it against the sequential namespace
+	// model. Final is the settled namespace after heal+recover+quiesce.
+	History []model.Op
+	Final   map[string]types.InodeID
+
+	// WAL activity summed over every server: Appends counts disk requests
+	// the WALs issued, GroupFlushes the subset that coalesced a group-commit
+	// window. With GroupLinger set, Appends dropping at equal op count is
+	// the group-commit win.
+	WALAppends      uint64
+	WALGroupFlushes uint64
 }
 
 // Consistent reports whether the run completed with no violations.
@@ -112,6 +142,8 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  net: msgs=%d dropped-fault=%d dropped-partition=%d dropped-down=%d dup=%d delayed=%d\n",
 		r.Net.Messages, r.Net.DroppedFault, r.Net.DroppedPartition,
 		r.Net.DroppedDown, r.Net.Duplicated, r.Net.Delayed)
+	fmt.Fprintf(&b, "  history: ops=%d hash=%016x wal-appends=%d group-flushes=%d\n",
+		len(r.History), model.HistoryHash(r.History), r.WALAppends, r.WALGroupFlushes)
 	fmt.Fprintf(&b, "  schedule (%d events):\n", len(r.Schedule))
 	for _, e := range r.Schedule {
 		fmt.Fprintf(&b, "    %9v %s\n", e.At, e.What)
@@ -170,6 +202,7 @@ func Run(cfg Config) *Report {
 	// Client-side retry is mandatory here: without it a single dropped reply
 	// wedges a worker forever and the run can never drain.
 	opts.Retry = types.RetryPolicy{Timeout: 50 * time.Millisecond, Attempts: 6}
+	opts.GroupLinger = cfg.GroupLinger
 	c := cluster.MustNew(opts)
 
 	h := &harness{
@@ -189,7 +222,11 @@ func Run(cfg Config) *Report {
 
 	h.group.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		c.Sim.Spawn(fmt.Sprintf("chaos/worker%d", w), h.worker(w))
+		body := h.worker(w)
+		if cfg.Pipeline > 1 {
+			body = h.pipelinedWorker(w)
+		}
+		c.Sim.Spawn(fmt.Sprintf("chaos/worker%d", w), body)
 	}
 
 	nem := &nemesis{h: h, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x6e656d6573697321))}
@@ -229,6 +266,11 @@ func Run(cfg Config) *Report {
 		rep.Elapsed = c.Sim.Now()
 	}
 	rep.Net = c.Net.Stats()
+	for _, b := range c.Bases {
+		ws := b.WAL.Stats()
+		rep.WALAppends += ws.Appends
+		rep.WALGroupFlushes += ws.GroupFlushes
+	}
 	c.Shutdown()
 	return rep
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"cxfs/internal/core"
+	"cxfs/internal/model"
 	"cxfs/internal/simrt"
 	"cxfs/internal/types"
 )
@@ -14,7 +16,7 @@ import (
 // after a definite success or failure the expected state is known exactly,
 // and after a timeout the name is frozen in stUnknown — the final
 // verification then accepts exactly the two states the unfinished operation
-// could legally have left behind.
+// could legally be in.
 type entry struct {
 	name  string
 	ino   types.InodeID
@@ -23,15 +25,113 @@ type entry struct {
 }
 
 const (
-	stAbsent  uint8 = iota // definitely not in the namespace
+	stFresh   uint8 = iota // create not yet resolved (pipelined in-flight)
+	stAbsent               // definitely not in the namespace
 	stExists               // definitely present, pointing at entry.ino
 	stUnknown              // a timed-out operation's outcome is undecided
 )
 
+// recordOp appends one client observation to the report's history, which
+// the model oracle replays after the run. in matters only for lookups.
+func (h *harness) recordOp(w int, kind types.OpKind, e *entry, err error, in types.Inode) {
+	o := model.Op{Worker: w, Kind: kind, Name: e.name, Ino: e.ino,
+		Outcome: model.Classify(err)}
+	if kind == types.OpLookup && err == nil {
+		o.Found = true
+		o.SawIno = in.Ino
+	}
+	h.rep.History = append(h.rep.History, o)
+}
+
+// foldCreate folds one create/mkdir outcome into the oracle, counters, and
+// history. It reports whether the entry is now live (definitely exists).
+func (h *harness) foldCreate(w int, e *entry, err error) bool {
+	kind := types.OpCreate
+	if e.dir {
+		kind = types.OpMkdir
+	}
+	h.rep.Ops++
+	h.recordOp(w, kind, e, err, types.Inode{})
+	switch {
+	case err == nil:
+		e.state = stExists
+		h.rep.OK++
+		return true
+	case errors.Is(err, types.ErrTimeout):
+		e.state = stUnknown
+		h.rep.Unknown++
+	case errors.Is(err, types.ErrExists):
+		// The name was never used before: nothing may already hold it.
+		h.violate("worker %d: create %q reported exists on a fresh name", w, e.name)
+		e.state = stUnknown
+		h.rep.Failed++
+	default:
+		// A definite abort must leave no residue.
+		e.state = stAbsent
+		h.rep.Failed++
+	}
+	return false
+}
+
+// foldRemove folds one remove/rmdir outcome. It reports whether the entry
+// survives (a definite abort leaves it in the namespace).
+func (h *harness) foldRemove(w int, e *entry, err error) bool {
+	kind := types.OpRemove
+	if e.dir {
+		kind = types.OpRmdir
+	}
+	h.rep.Ops++
+	h.recordOp(w, kind, e, err, types.Inode{})
+	switch {
+	case err == nil:
+		e.state = stAbsent
+		h.rep.OK++
+	case errors.Is(err, types.ErrTimeout):
+		e.state = stUnknown
+		h.rep.Unknown++
+	case errors.Is(err, types.ErrNotFound):
+		// The previous operation on this name definitely succeeded, so the
+		// entry must be there.
+		h.violate("worker %d: remove %q reported not-found on a committed entry", w, e.name)
+		e.state = stUnknown
+		h.rep.Failed++
+	default:
+		// Aborted: the entry survives.
+		h.rep.Failed++
+		return true
+	}
+	return false
+}
+
+// foldLookup folds one read-your-writes check on a name with a known state.
+func (h *harness) foldLookup(w int, e *entry, in types.Inode, err error) {
+	h.rep.Ops++
+	h.recordOp(w, types.OpLookup, e, err, in)
+	switch {
+	case errors.Is(err, types.ErrTimeout):
+		// No information; the name's oracle state is untouched.
+		h.rep.Unknown++
+	case err == nil:
+		h.rep.OK++
+		if e.state == stAbsent {
+			h.violate("worker %d: lookup %q found a removed entry (ino %d)", w, e.name, in.Ino)
+		} else if in.Ino != e.ino {
+			h.violate("worker %d: lookup %q -> ino %d, want %d", w, e.name, in.Ino, e.ino)
+		}
+	case errors.Is(err, types.ErrNotFound):
+		h.rep.OK++
+		if e.state == stExists {
+			h.violate("worker %d: lookup %q lost a committed entry", w, e.name)
+		}
+	default:
+		h.rep.Failed++
+	}
+}
+
 // worker returns the proc body of one workload process: a randomized
 // create/remove/lookup mix over private names (some containing spaces, to
 // exercise the invariant checker's name parsing), with every outcome folded
-// into the oracle.
+// into the oracle. One op at a time — the paper's process-centric model.
 func (h *harness) worker(w int) func(*simrt.Proc) {
 	return func(p *simrt.Proc) {
 		defer h.group.Done()
@@ -53,25 +153,8 @@ func (h *harness) worker(w int) func(*simrt.Proc) {
 				} else {
 					e.ino, err = pr.Create(p, types.RootInode, e.name)
 				}
-				h.rep.Ops++
-				switch {
-				case err == nil:
-					e.state = stExists
+				if h.foldCreate(w, e, err) {
 					live = append(live, e)
-					h.rep.OK++
-				case errors.Is(err, types.ErrTimeout):
-					e.state = stUnknown
-					h.rep.Unknown++
-				case errors.Is(err, types.ErrExists):
-					// The name was never used before: nothing may already
-					// hold it.
-					h.violate("worker %d: create %q reported exists on a fresh name", w, e.name)
-					e.state = stUnknown
-					h.rep.Failed++
-				default:
-					// A definite abort must leave no residue.
-					e.state = stAbsent
-					h.rep.Failed++
 				}
 			case r < 0.85:
 				// Remove an entry the oracle knows exists.
@@ -84,30 +167,14 @@ func (h *harness) worker(w int) func(*simrt.Proc) {
 				} else {
 					err = pr.Remove(p, types.RootInode, e.name, e.ino)
 				}
-				h.rep.Ops++
-				switch {
-				case err == nil:
-					e.state = stAbsent
-					h.rep.OK++
-				case errors.Is(err, types.ErrTimeout):
-					e.state = stUnknown
-					h.rep.Unknown++
-				case errors.Is(err, types.ErrNotFound):
-					// The previous operation on this name definitely
-					// succeeded, so the entry must be there.
-					h.violate("worker %d: remove %q reported not-found on a committed entry", w, e.name)
-					e.state = stUnknown
-					h.rep.Failed++
-				default:
-					// Aborted: the entry survives.
+				if h.foldRemove(w, e, err) {
 					live = append(live, e)
-					h.rep.Failed++
 				}
 			default:
 				// Live read-your-writes check on a name with a known state.
 				var known []*entry
 				for _, e := range h.entries[w] {
-					if e.state != stUnknown {
+					if e.state == stExists || e.state == stAbsent {
 						known = append(known, e)
 					}
 				}
@@ -116,40 +183,128 @@ func (h *harness) worker(w int) func(*simrt.Proc) {
 				}
 				e := known[rng.Intn(len(known))]
 				in, err := pr.Lookup(p, types.RootInode, e.name)
-				h.rep.Ops++
-				switch {
-				case errors.Is(err, types.ErrTimeout):
-					// No information; the name's oracle state is untouched.
-					h.rep.Unknown++
-				case err == nil:
-					h.rep.OK++
-					if e.state == stAbsent {
-						h.violate("worker %d: lookup %q found a removed entry (ino %d)", w, e.name, in.Ino)
-					} else if in.Ino != e.ino {
-						h.violate("worker %d: lookup %q -> ino %d, want %d", w, e.name, in.Ino, e.ino)
-					}
-				case errors.Is(err, types.ErrNotFound):
-					h.rep.OK++
-					if e.state == stExists {
-						h.violate("worker %d: lookup %q lost a committed entry", w, e.name)
-					}
-				default:
-					h.rep.Failed++
-				}
+				h.foldLookup(w, e, in, err)
 			}
 		}
 	}
 }
 
+// pipelinedWorker is the worker body when cfg.Pipeline > 1: up to Pipeline
+// operations in flight through core.Pipeline. Oracle validity is preserved
+// by per-name sequencing — a name with an operation in flight is never
+// targeted again until that operation's outcome has been folded, so each
+// name still sees a strictly sequential history. Creates always use fresh
+// names and are therefore always safe to pipeline.
+func (h *harness) pipelinedWorker(w int) func(*simrt.Proc) {
+	return func(p *simrt.Proc) {
+		defer h.group.Done()
+		pr := h.c.Proc(w)
+		pipe := pr.NewPipeline(h.cfg.Pipeline)
+		rng := rand.New(rand.NewSource(h.cfg.Seed*1000003 + int64(w)))
+		var live []*entry             // entries currently in stExists
+		busy := make(map[string]bool) // names with an op in flight
+		owner := make(map[*core.Pending]*entry)
+
+		harvest := func(done []*core.Pending) {
+			for _, pe := range done {
+				e := owner[pe]
+				delete(owner, pe)
+				delete(busy, e.name)
+				switch pe.Op.Kind {
+				case types.OpCreate, types.OpMkdir:
+					if h.foldCreate(w, e, pe.Err) {
+						live = append(live, e)
+					}
+				case types.OpRemove, types.OpRmdir:
+					if h.foldRemove(w, e, pe.Err) {
+						live = append(live, e)
+					}
+				case types.OpLookup:
+					h.foldLookup(w, e, pe.Attr, pe.Err)
+				}
+			}
+		}
+		submitCreate := func(i int) {
+			e := &entry{name: fmt.Sprintf("w%d f%d", w, i), dir: rng.Float64() < 0.25,
+				state: stFresh}
+			h.entries[w] = append(h.entries[w], e)
+			e.ino = pr.AllocInode()
+			kind, ft := types.OpCreate, types.FileRegular
+			if e.dir {
+				kind, ft = types.OpMkdir, types.FileDir
+			}
+			busy[e.name] = true
+			owner[pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: kind,
+				Parent: types.RootInode, Name: e.name, Ino: e.ino, Type: ft})] = e
+		}
+		// idle returns the entries of es with no op in flight on them.
+		idle := func(es []*entry) []*entry {
+			var out []*entry
+			for _, e := range es {
+				if !busy[e.name] {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+
+		for i := 0; i < h.cfg.OpsPerWorker; i++ {
+			harvest(pipe.Poll())
+			r := rng.Float64()
+			switch {
+			case r < 0.55 || len(idle(live)) == 0:
+				submitCreate(i)
+			case r < 0.85:
+				cand := idle(live)
+				e := cand[rng.Intn(len(cand))]
+				for k := range live {
+					if live[k] == e {
+						live = append(live[:k], live[k+1:]...)
+						break
+					}
+				}
+				kind := types.OpRemove
+				if e.dir {
+					kind = types.OpRmdir
+				}
+				busy[e.name] = true
+				owner[pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: kind,
+					Parent: types.RootInode, Name: e.name, Ino: e.ino})] = e
+			default:
+				var known []*entry
+				for _, e := range h.entries[w] {
+					if (e.state == stExists || e.state == stAbsent) && !busy[e.name] {
+						known = append(known, e)
+					}
+				}
+				if len(known) == 0 {
+					submitCreate(i) // keep the op count
+					continue
+				}
+				e := known[rng.Intn(len(known))]
+				busy[e.name] = true
+				owner[pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: types.OpLookup,
+					Parent: types.RootInode, Name: e.name})] = e
+			}
+		}
+		harvest(pipe.Drain(p))
+	}
+}
+
 // verify runs after heal+recover+quiesce: every oracle name is resolved on
 // the settled namespace and compared against its expected state, then the
-// cluster-wide invariants are checked.
+// cluster-wide invariants are checked. The settled namespace is also
+// captured into Report.Final for the model oracle's independent replay.
 func (h *harness) verify(p *simrt.Proc) {
+	h.rep.Final = make(map[string]types.InodeID)
 	for w := range h.entries {
 		pr := h.c.Proc(w)
 		for _, e := range h.entries[w] {
 			in, err := pr.Lookup(p, types.RootInode, e.name)
 			found := err == nil
+			if found {
+				h.rep.Final[e.name] = in.Ino
+			}
 			switch {
 			case err != nil && !errors.Is(err, types.ErrNotFound):
 				h.violate("verify: lookup %q failed on the healed cluster: %v", e.name, err)

@@ -70,6 +70,13 @@ type Options struct {
 	Cx       core.Config
 	// SEFlush paces the OFS-batched flush daemon.
 	SEFlush time.Duration
+	// GroupLinger enables cross-proc WAL group commit on every server:
+	// concurrent appends park in a flush window for up to this long and one
+	// flusher writes the coalesced window as a single sequential disk
+	// request. 0 (the default) keeps the direct per-batch write path. The
+	// linger applies to every protocol — SE/CE/2PC share the same WAL — so
+	// benchmark comparisons stay fair.
+	GroupLinger time.Duration
 	// Retry is the client-side per-RPC timeout/retry policy, applied to
 	// every driver. The zero value (the default) keeps the historical
 	// behavior: a client blocks forever on a lost reply. Fault-injection
@@ -156,6 +163,15 @@ func New(opts Options) (*Cluster, error) {
 	for i := 0; i < opts.Servers; i++ {
 		base := node.NewBase(sim, net, types.NodeID(i), opts.Hardware)
 		c.Bases = append(c.Bases, base)
+		if opts.GroupLinger > 0 {
+			base.WAL.SetGroupCommit(opts.GroupLinger)
+			if opts.Obs != nil {
+				o := opts.Obs
+				base.WAL.SetFlushHook(func(batches, records int, bytes int64) {
+					o.RecordFlush(batches, records, bytes)
+				})
+			}
+		}
 		if opts.Obs.TraceOn() {
 			nodeID := int(base.ID)
 			base.WAL.SetPruneHook(func(op types.OpID, bytes int64) {
@@ -314,6 +330,14 @@ func (pr *Process) AllocInode() types.InodeID {
 // Do issues a fully-formed operation.
 func (pr *Process) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	return pr.driver.Do(p, op)
+}
+
+// NewPipeline builds a pipelined dispatcher of the given depth over this
+// process's protocol driver: up to depth operations in flight at once, each
+// with the driver's full per-op retry/timeout behavior. Works for every
+// protocol (the baselines satisfy the same Doer contract as Cx).
+func (pr *Process) NewPipeline(depth int) *core.Pipeline {
+	return core.NewPipeline(pr.cluster.Sim, pr.driver, depth)
 }
 
 // Create makes a regular file and returns its inode number.

@@ -105,7 +105,7 @@ func (s *Server) commitDaemon(p *simrt.Proc) {
 		var req kickReq
 		var got bool
 		if s.cfg.Timeout > 0 {
-			req, got = s.kick.RecvTimeout(p, s.cfg.Timeout)
+			req, got = s.kick.RecvTimeout(p, s.adaptivePeriod())
 			if !got {
 				req = kickReq{lazy: true}
 				s.stats.LazyBatches++
@@ -141,6 +141,35 @@ func (s *Server) lazyPeriod() time.Duration {
 		return s.cfg.Timeout
 	}
 	return s.cfg.VoteWait
+}
+
+// adaptivePeriod is the commit daemon's wait for its next lazy tick. With
+// AdaptiveLazy off it is the fixed Timeout of §IV.A. With it on, the period
+// tracks log pressure: near the prune threshold the daemon shrinks toward an
+// eager cadence, because the alternative is new-arrival appends stalling on
+// a full log; with nothing pending and a quiet log it stretches, because a
+// lazy batch over an empty table is pure wakeup overhead.
+func (s *Server) adaptivePeriod() time.Duration {
+	base := s.cfg.Timeout
+	if !s.cfg.AdaptiveLazy {
+		return base
+	}
+	if max := s.WAL.MaxBytes(); max > 0 {
+		live := s.WAL.LiveBytes()
+		switch {
+		case live*4 >= max*3: // >= 75% of the prune threshold
+			s.stats.AdaptiveShrinks++
+			return base / 8
+		case live*2 >= max: // >= 50%
+			s.stats.AdaptiveShrinks++
+			return base / 2
+		}
+	}
+	if len(s.pendingCoord) == 0 && len(s.pendingPart) == 0 && len(s.flushQ) == 0 {
+		s.stats.AdaptiveStretches++
+		return base * 2
+	}
+	return base
 }
 
 // runCommit executes one commitment batch.
@@ -200,8 +229,6 @@ func (s *Server) runCommit(p *simrt.Proc, req kickReq) {
 		groups[co.participant] = append(groups[co.participant], co)
 	}
 	boot := s.Boot()
-	if len(targets) > 0 {
-	}
 	g := simrt.NewGroup(s.Sim)
 	g.Add(len(order))
 	for _, part := range order {
@@ -347,7 +374,22 @@ func (s *Server) rpcVotes(p *simrt.Proc, boot uint64, part types.NodeID, ids, en
 			for _, v := range m.Votes {
 				votes[v.Op] = v.OK
 			}
-			return votes
+			// Replies route by their first op only, so a straggler answer to
+			// an earlier round that shared this round's head (a pre-crash
+			// batch the recovery re-drove with extra ops, say) can land here.
+			// Accept it only if it votes on this round's entire op set: a
+			// missing vote would otherwise read as NO and abort an operation
+			// the participant actually holds a YES execution for.
+			complete := true
+			for _, id := range ids {
+				if _, voted := votes[id]; !voted {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				return votes
+			}
 		}
 	}
 }
@@ -368,10 +410,30 @@ func (s *Server) rpcAck(p *simrt.Proc, boot uint64, part types.NodeID, ids []typ
 		if len(ids) > 0 && s.CrashPoint(CPCommitMidFanout, ids[0]) {
 			return // decision sent, ACK never collected
 		}
-		if _, ok := ch.RecvTimeout(p, s.cfg.RetryInterval); ok || s.Gone(boot) {
+		m, ok := ch.RecvTimeout(p, s.cfg.RetryInterval)
+		if s.Gone(boot) {
+			return
+		}
+		// Same head-op routing hazard as rpcVotes: only an ACK echoing this
+		// round's exact op set confirms the participant applied these
+		// decisions; a stale ACK from an earlier round must not.
+		if ok && opSetEqual(m.Ops, ids) {
 			return
 		}
 	}
+}
+
+// opSetEqual reports whether a reply's echoed op list matches the round's.
+func opSetEqual(a, b []types.OpID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // handleVote answers a batched VOTE (§III.B step 4): each vote reflects the

@@ -83,6 +83,13 @@ type Config struct {
 	// operations on an immediate commitment's round — an ablation knob for
 	// benchmarks; production keeps it off (piggybacking on).
 	NoPiggyback bool
+	// AdaptiveLazy makes the commit daemon's lazy period track log
+	// pressure: the wait shrinks toward an eager cadence as the log nears
+	// its prune threshold (so pruning starts before appends stall on a full
+	// log) and stretches when the server is idle with nothing pending (so a
+	// quiet server burns no batches). Off by default; Timeout stays the
+	// fixed period of the paper's §IV.A trigger.
+	AdaptiveLazy bool
 	// RecoveryFreeze models the fixed phase of §V recovery: the failure
 	// detection subsystem confirms the crash, the rebooted node informs
 	// every collaborating server to enter the recovery state, and the file
@@ -119,6 +126,8 @@ type Stats struct {
 	VoteTimeouts      uint64
 	LateInvalidations uint64 // invalidation notices for ops a client completed (must stay 0)
 	Renames           uint64 // committed rename transactions (extension)
+	AdaptiveShrinks   uint64 // lazy periods shortened by log pressure
+	AdaptiveStretches uint64 // lazy periods stretched by idleness
 }
 
 // coordOp is a pending cross-server operation on its coordinator.

@@ -108,8 +108,14 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 	}
 	s.localInflight[sub.Op] = true
 	defer delete(s.localInflight, sub.Op)
+	boot := s.Boot()
 	execStart := s.Sim.Now()
 	s.ExecCPU(p)
+	if s.Gone(boot) {
+		// Crashed (or crashed and rebooted) during the CPU charge: the
+		// volatile image this execution would write to is gone.
+		return
+	}
 	res := s.Shard.Exec(sub, s.NowNanos())
 	if s.cfg.Obs.TraceOn() {
 		s.cfg.Obs.Span(execStart, s.Sim.Now()-execStart, int(s.ID), sub.Op,
@@ -138,7 +144,7 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 		}
 		appendStart := s.Sim.Now()
 		s.WAL.Append(p, rec)
-		if s.CrashPoint(CPExecAppend, sub.Op) {
+		if s.CrashPoint(CPExecAppend, sub.Op) || s.Gone(boot) {
 			return
 		}
 		if s.cfg.Obs.TraceOn() {
@@ -390,6 +396,7 @@ func (s *Server) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 // previously parked OpReq re-enters here through handleLocalOp (its gate
 // entries were cleared on release).
 func (s *Server) runLocalOp(p *simrt.Proc, m wire.Msg) {
+	boot := s.Boot()
 	op := m.FullOp
 	if op.Kind.Mutating() {
 		s.localInflight[op.ID] = true
@@ -416,6 +423,9 @@ func (s *Server) runLocalOp(p *simrt.Proc, m wire.Msg) {
 			}
 		}
 		s.ExecCPU(p)
+		if s.Gone(boot) {
+			return
+		}
 		resC := s.Shard.Exec(cSub, s.NowNanos())
 		var resP namespaceResult
 		if resC.OK {
@@ -445,6 +455,9 @@ func (s *Server) runLocalOp(p *simrt.Proc, m wire.Msg) {
 		// Single-server simple op routed as OpReq (reads use SubOpReq).
 		sub := types.SingleSubOp(op)
 		s.ExecCPU(p)
+		if s.Gone(boot) {
+			return
+		}
 		res := s.Shard.Exec(sub, s.NowNanos())
 		reply.OK = res.OK
 		reply.Attr = res.Inode
@@ -459,7 +472,7 @@ func (s *Server) runLocalOp(p *simrt.Proc, m wire.Msg) {
 
 	if len(recs) > 0 {
 		s.WAL.AppendBatch(p, recs)
-		if s.Crashed() {
+		if s.Gone(boot) {
 			return
 		}
 		s.flushQ = append(s.flushQ, flushEntry{id: op.ID, rows: rows})

@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cxfs/internal/core"
+	"cxfs/internal/simrt"
+	"cxfs/internal/types"
+)
+
+// fakeDoer is a Doer whose per-op latency and error are table-driven, with
+// an in-flight high-water mark to verify the pipeline's depth bound.
+type fakeDoer struct {
+	delay    func(op types.Op) time.Duration
+	err      func(op types.Op) error
+	inflight int
+	peak     int
+}
+
+func (d *fakeDoer) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	d.inflight++
+	if d.inflight > d.peak {
+		d.peak = d.inflight
+	}
+	if d.delay != nil {
+		if dl := d.delay(op); dl > 0 {
+			p.Sleep(dl)
+		}
+	}
+	d.inflight--
+	if d.err != nil {
+		if e := d.err(op); e != nil {
+			return types.Inode{}, e
+		}
+	}
+	return types.Inode{Ino: op.Ino}, nil
+}
+
+func pipeOp(seq uint64) types.Op {
+	return types.Op{ID: types.OpID{Proc: types.ProcID{Client: 9}, Seq: seq},
+		Kind: types.OpStat, Ino: types.InodeID(seq)}
+}
+
+// withPipeline runs fn inside a simulation with a pipeline over the doer.
+func withPipeline(t *testing.T, seed int64, d core.Doer, depth int, fn func(p *simrt.Proc, pl *core.Pipeline)) {
+	t.Helper()
+	s := simrt.New(seed)
+	pl := core.NewPipeline(s, d, depth)
+	s.Spawn("driver", func(p *simrt.Proc) {
+		fn(p, pl)
+		s.Stop()
+	})
+	s.RunUntil(time.Hour)
+	if !s.Stopped() {
+		t.Fatal("pipeline run hung")
+	}
+	s.Shutdown()
+}
+
+func TestPipelineDepthBoundsInFlight(t *testing.T) {
+	d := &fakeDoer{delay: func(types.Op) time.Duration { return time.Millisecond }}
+	withPipeline(t, 1, d, 4, func(p *simrt.Proc, pl *core.Pipeline) {
+		var pends []*core.Pending
+		for i := 0; i < 20; i++ {
+			pends = append(pends, pl.Submit(p, pipeOp(uint64(i+1))))
+		}
+		pl.Drain(p)
+		for i, pe := range pends {
+			if !pe.Done() {
+				t.Errorf("op %d not done after Drain", i)
+			}
+			if pe.Err != nil {
+				t.Errorf("op %d: %v", i, pe.Err)
+			}
+		}
+	})
+	if d.peak > 4 {
+		t.Errorf("in-flight peaked at %d, depth is 4", d.peak)
+	}
+	if d.peak < 4 {
+		t.Errorf("in-flight peaked at %d; the pipeline never filled", d.peak)
+	}
+}
+
+func TestPipelineCompletionOrderFollowsLatency(t *testing.T) {
+	// Ops 1..3 with latencies 3ms, 1ms, 2ms: completion (and therefore
+	// Drain) order must be 2, 3, 1.
+	lat := map[uint64]time.Duration{1: 3 * time.Millisecond, 2: time.Millisecond, 3: 2 * time.Millisecond}
+	d := &fakeDoer{delay: func(op types.Op) time.Duration { return lat[op.ID.Seq] }}
+	withPipeline(t, 1, d, 3, func(p *simrt.Proc, pl *core.Pipeline) {
+		for seq := uint64(1); seq <= 3; seq++ {
+			pl.Submit(p, pipeOp(seq))
+		}
+		done := pl.Drain(p)
+		var got []uint64
+		for _, pe := range done {
+			got = append(got, pe.Op.ID.Seq)
+		}
+		want := []uint64{2, 3, 1}
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				t.Fatalf("completion order %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+func TestPipelineDepthClampedToOne(t *testing.T) {
+	d := &fakeDoer{delay: func(types.Op) time.Duration { return time.Millisecond }}
+	withPipeline(t, 1, d, 0, func(p *simrt.Proc, pl *core.Pipeline) {
+		if pl.Depth() != 1 {
+			t.Errorf("depth %d, want clamp to 1", pl.Depth())
+		}
+		for i := 0; i < 5; i++ {
+			pl.Submit(p, pipeOp(uint64(i+1)))
+		}
+		pl.Drain(p)
+	})
+	if d.peak != 1 {
+		t.Errorf("in-flight peaked at %d with depth 1", d.peak)
+	}
+}
+
+func TestPipelinePollIsNonBlocking(t *testing.T) {
+	d := &fakeDoer{delay: func(types.Op) time.Duration { return time.Second }}
+	withPipeline(t, 1, d, 2, func(p *simrt.Proc, pl *core.Pipeline) {
+		pl.Submit(p, pipeOp(1))
+		if got := pl.Poll(); len(got) != 0 {
+			t.Errorf("Poll returned %d results with the op still in flight", len(got))
+		}
+		if pl.InFlight() != 1 {
+			t.Errorf("InFlight=%d, want 1", pl.InFlight())
+		}
+		pl.Drain(p)
+	})
+}
+
+func TestPipelineErrorsStayPerOp(t *testing.T) {
+	boom := errors.New("boom")
+	d := &fakeDoer{
+		delay: func(types.Op) time.Duration { return time.Millisecond },
+		err: func(op types.Op) error {
+			if op.ID.Seq%2 == 0 {
+				return boom
+			}
+			return nil
+		},
+	}
+	withPipeline(t, 1, d, 4, func(p *simrt.Proc, pl *core.Pipeline) {
+		var pends []*core.Pending
+		for seq := uint64(1); seq <= 8; seq++ {
+			pends = append(pends, pl.Submit(p, pipeOp(seq)))
+		}
+		pl.Drain(p)
+		for _, pe := range pends {
+			wantErr := pe.Op.ID.Seq%2 == 0
+			if (pe.Err != nil) != wantErr {
+				t.Errorf("op %d: err=%v, wantErr=%v", pe.Op.ID.Seq, pe.Err, wantErr)
+			}
+			if pe.Err == nil && pe.Attr.Ino != pe.Op.Ino {
+				t.Errorf("op %d: attr ino %d, want %d", pe.Op.ID.Seq, pe.Attr.Ino, pe.Op.Ino)
+			}
+		}
+	})
+}
+
+func TestPipelineDeterministicCompletionOrder(t *testing.T) {
+	run := func() []uint64 {
+		// Latency varies with seq so completions genuinely reorder.
+		d := &fakeDoer{delay: func(op types.Op) time.Duration {
+			return time.Duration(1+op.ID.Seq%5) * time.Millisecond
+		}}
+		var order []uint64
+		withPipeline(t, 7, d, 6, func(p *simrt.Proc, pl *core.Pipeline) {
+			for seq := uint64(1); seq <= 24; seq++ {
+				pl.Submit(p, pipeOp(seq))
+				for _, pe := range pl.Poll() {
+					order = append(order, pe.Op.ID.Seq)
+				}
+			}
+			for _, pe := range pl.Drain(p) {
+				order = append(order, pe.Op.ID.Seq)
+			}
+		})
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 24 || len(b) != 24 {
+		t.Fatalf("lost completions: %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion order diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -70,6 +70,9 @@ func (s *Server) handleRename(p *simrt.Proc, m wire.Msg) {
 
 	// Provisional source removal.
 	s.ExecCPU(p)
+	if s.Gone(boot) {
+		return
+	}
 	resSrc := s.Shard.Exec(srcSub, s.NowNanos())
 	if !resSrc.OK {
 		reply.OK, reply.Err = false, resSrc.Err.Error()
@@ -245,6 +248,9 @@ func (s *Server) renameExecInsert(p *simrt.Proc, boot uint64, op types.Op, dstSu
 		}
 	}
 	s.ExecCPU(p)
+	if s.Gone(boot) {
+		return false, "", false
+	}
 	res := s.Shard.Exec(dstSub, s.NowNanos())
 	if !res.OK {
 		return false, res.Err.Error(), false

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"cxfs/internal/cluster"
+	"cxfs/internal/core"
 	"cxfs/internal/simrt"
 	"cxfs/internal/types"
 )
@@ -48,6 +49,13 @@ type Config struct {
 	// starts (the paper fills 40,000 files per server so servers run at
 	// steady state; scale to taste).
 	Prepopulate int
+	// Pipeline is the per-process in-flight operation limit. Values <= 1
+	// keep the classic closed loop (one op at a time per process); higher
+	// values dispatch up to Pipeline operations concurrently through
+	// core.Pipeline, with per-op ordering preserved on every file a process
+	// owns (a file is only stat'd or removed after its create completed,
+	// and never removed while a stat on it is in flight).
+	Pipeline int
 }
 
 // Result is one run's outcome.
@@ -116,41 +124,10 @@ func Run(c *cluster.Cluster, cfg Config) Result {
 		pr := c.Proc(i)
 		c.Sim.Spawn(fmt.Sprintf("metarates/p%d", i), func(p *simrt.Proc) {
 			gate.Recv(p)
-			// Own-file working set for stats and removes.
-			type ownFile struct {
-				name string
-				ino  types.InodeID
-			}
-			var files []ownFile
-			next := 0
-			rng := c.Sim.Rand()
-			for op := 0; op < cfg.OpsPerProc; op++ {
-				if rng.Float64() < cfg.Mix.UpdateShare || len(files) == 0 {
-					// Update: alternate create and remove to hold the
-					// working set steady, like Metarates' create/utime
-					// phases.
-					if len(files) < 8 || rng.Intn(2) == 0 {
-						name := fmt.Sprintf("m.%d.%d", i, next)
-						next++
-						ino, err := pr.Create(p, dirIno, name)
-						if err != nil {
-							res.Errors++
-							continue
-						}
-						files = append(files, ownFile{name, ino})
-					} else {
-						f := files[0]
-						files = files[1:]
-						if err := pr.Remove(p, dirIno, f.name, f.ino); err != nil {
-							res.Errors++
-						}
-					}
-				} else {
-					f := files[rng.Intn(len(files))]
-					if _, err := pr.Stat(p, f.ino); err != nil {
-						res.Errors++
-					}
-				}
+			if cfg.Pipeline > 1 {
+				res.Errors += pipelinedWorker(p, c, pr, &dirIno, cfg, i)
+			} else {
+				res.Errors += sequentialWorker(p, c, pr, &dirIno, cfg, i)
 			}
 			g.Done()
 		})
@@ -169,4 +146,121 @@ func Run(c *cluster.Cluster, cfg Config) Result {
 	}
 	res.Messages = c.Net.Stats().Messages - msgs0
 	return res
+}
+
+// ownFile is one file in a process's working set.
+type ownFile struct {
+	name string
+	ino  types.InodeID
+}
+
+// sequentialWorker is the classic closed loop: one op at a time. Returns the
+// error count.
+func sequentialWorker(p *simrt.Proc, c *cluster.Cluster, pr *cluster.Process, dirIno *types.InodeID, cfg Config, id int) int {
+	errors := 0
+	var files []ownFile
+	next := 0
+	rng := c.Sim.Rand()
+	for op := 0; op < cfg.OpsPerProc; op++ {
+		if rng.Float64() < cfg.Mix.UpdateShare || len(files) == 0 {
+			// Update: alternate create and remove to hold the working set
+			// steady, like Metarates' create/utime phases.
+			if len(files) < 8 || rng.Intn(2) == 0 {
+				name := fmt.Sprintf("m.%d.%d", id, next)
+				next++
+				ino, err := pr.Create(p, *dirIno, name)
+				if err != nil {
+					errors++
+					continue
+				}
+				files = append(files, ownFile{name, ino})
+			} else {
+				f := files[0]
+				files = files[1:]
+				if err := pr.Remove(p, *dirIno, f.name, f.ino); err != nil {
+					errors++
+				}
+			}
+		} else {
+			f := files[rng.Intn(len(files))]
+			if _, err := pr.Stat(p, f.ino); err != nil {
+				errors++
+			}
+		}
+	}
+	return errors
+}
+
+// pipelinedWorker keeps up to cfg.Pipeline operations in flight. The
+// working set only admits files whose create has completed, a file with a
+// stat in flight is never removed, and removed files leave the set at
+// submission — so each file still sees a sequential create → (stats) →
+// remove history and the op stream stays oracle-checkable.
+func pipelinedWorker(p *simrt.Proc, c *cluster.Cluster, pr *cluster.Process, dirIno *types.InodeID, cfg Config, id int) int {
+	errors := 0
+	pipe := pr.NewPipeline(cfg.Pipeline)
+	var files []ownFile
+	statsIn := make(map[types.InodeID]int) // in-flight stats per inode
+	next := 0
+	rng := c.Sim.Rand()
+	harvest := func(done []*core.Pending) {
+		for _, pe := range done {
+			switch pe.Op.Kind {
+			case types.OpCreate:
+				if pe.Err != nil {
+					errors++
+				} else {
+					files = append(files, ownFile{pe.Op.Name, pe.Op.Ino})
+				}
+			case types.OpStat:
+				if statsIn[pe.Op.Ino]--; statsIn[pe.Op.Ino] <= 0 {
+					delete(statsIn, pe.Op.Ino)
+				}
+				if pe.Err != nil {
+					errors++
+				}
+			default:
+				if pe.Err != nil {
+					errors++
+				}
+			}
+		}
+	}
+	submitCreate := func() {
+		name := fmt.Sprintf("m.%d.%d", id, next)
+		next++
+		pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: types.OpCreate,
+			Parent: *dirIno, Name: name, Ino: pr.AllocInode(), Type: types.FileRegular})
+	}
+	for op := 0; op < cfg.OpsPerProc; op++ {
+		harvest(pipe.Poll())
+		if rng.Float64() < cfg.Mix.UpdateShare || len(files) == 0 {
+			if len(files) < 8 || rng.Intn(2) == 0 {
+				submitCreate()
+				continue
+			}
+			// Remove the oldest file with no stat in flight on it.
+			victim := -1
+			for k := range files {
+				if statsIn[files[k].ino] == 0 {
+					victim = k
+					break
+				}
+			}
+			if victim < 0 {
+				submitCreate() // everything is stat-busy; keep the op count
+				continue
+			}
+			f := files[victim]
+			files = append(files[:victim], files[victim+1:]...)
+			pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: types.OpRemove,
+				Parent: *dirIno, Name: f.name, Ino: f.ino})
+		} else {
+			f := files[rng.Intn(len(files))]
+			statsIn[f.ino]++
+			pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: types.OpStat, Ino: f.ino})
+		}
+	}
+	harvest(pipe.Drain(p))
+	return errors
 }

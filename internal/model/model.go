@@ -1,0 +1,238 @@
+// Package model is the sequential oracle for client-observed histories: a
+// replay of what every client process saw — operation kind, target name,
+// and observed outcome — against a simple in-memory namespace model that
+// has no concurrency, no caching, and no failure handling. If the
+// distributed run's observable outcomes cannot be explained by the
+// sequential model, the run violated the paper's atomicity goal (§III.C:
+// a cross-server operation either happens entirely or not at all, and a
+// client that saw it succeed must keep seeing it).
+//
+// The oracle relies on the workload discipline every harness in this repo
+// follows: names are process-private and never reused, and a process never
+// issues a second operation on a name before the first one's outcome is
+// known. Under that discipline each name carries an unambiguous sequential
+// history even when the process pipelines operations on different names.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"cxfs/internal/types"
+)
+
+// Outcome classifies what the client observed for one operation.
+type Outcome uint8
+
+const (
+	// OK: the operation definitely succeeded.
+	OK Outcome = iota
+	// Failed: the operation definitely failed and must have left no trace.
+	Failed
+	// FailedExists: a create reported the name already taken.
+	FailedExists
+	// FailedNotFound: a remove/lookup reported the name absent.
+	FailedNotFound
+	// Unknown: the operation timed out; it may or may not have applied.
+	Unknown
+)
+
+// String names the outcome for reports.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Failed:
+		return "failed"
+	case FailedExists:
+		return "exists"
+	case FailedNotFound:
+		return "notfound"
+	case Unknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// Classify maps a driver error to the outcome the oracle distinguishes.
+func Classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, types.ErrTimeout):
+		return Unknown
+	case errors.Is(err, types.ErrExists):
+		return FailedExists
+	case errors.Is(err, types.ErrNotFound):
+		return FailedNotFound
+	default:
+		return Failed
+	}
+}
+
+// Op is one client-observed operation in a history. Create/Mkdir and
+// Remove/Rmdir are the namespace-mutating kinds; Lookup carries what the
+// client saw (Found/SawIno). Other kinds (Stat, SetAttr) have no
+// name-level effect and are ignored by the replay.
+type Op struct {
+	Worker  int
+	Kind    types.OpKind
+	Name    string
+	Ino     types.InodeID
+	Outcome Outcome
+	// Lookup observations: Found says the lookup resolved, SawIno is the
+	// inode it resolved to.
+	Found  bool
+	SawIno types.InodeID
+}
+
+// String renders one op compactly (used by the history hash, so the format
+// is part of the fingerprint).
+func (o Op) String() string {
+	return fmt.Sprintf("w%d %s %q ino=%d %s found=%v saw=%d",
+		o.Worker, o.Kind, o.Name, o.Ino, o.Outcome, o.Found, o.SawIno)
+}
+
+// name-state of the sequential model.
+const (
+	stFresh   uint8 = iota // never targeted by a create
+	stAbsent               // definitely not in the namespace
+	stExists               // definitely present, bound to its ino
+	stUnknown              // a timed-out operation's outcome is undecided
+)
+
+type nameState struct {
+	state uint8
+	ino   types.InodeID
+}
+
+type nameKey struct {
+	worker int
+	name   string
+}
+
+// Check replays hist against the sequential model and then compares the
+// model's reachable final states against final — the settled namespace
+// after heal/recover/quiesce, as a name → inode map. It returns the list
+// of violations (empty = the distributed run is explainable by the
+// sequential model).
+//
+// hist must be in per-name causal order; interleaving between names is
+// irrelevant because names are process-private. final must cover exactly
+// the names the history targeted (extra names are not checked).
+func Check(hist []Op, final map[string]types.InodeID) []string {
+	var bad []string
+	violate := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	states := make(map[nameKey]*nameState)
+	at := func(o Op) *nameState {
+		k := nameKey{o.Worker, o.Name}
+		ns, ok := states[k]
+		if !ok {
+			ns = &nameState{state: stFresh}
+			states[k] = ns
+		}
+		return ns
+	}
+
+	for i, o := range hist {
+		ns := at(o)
+		switch o.Kind {
+		case types.OpCreate, types.OpMkdir:
+			if ns.state != stFresh {
+				violate("history[%d]: name reused: %s", i, o)
+				continue
+			}
+			ns.ino = o.Ino
+			switch o.Outcome {
+			case OK:
+				ns.state = stExists
+			case Unknown:
+				ns.state = stUnknown
+			case FailedExists:
+				// Names are never reused, so nothing can already hold one.
+				violate("history[%d]: create on a fresh name observed 'exists': %s", i, o)
+				ns.state = stUnknown
+			default:
+				// Definite failure: all-or-nothing demands no residue.
+				ns.state = stAbsent
+			}
+		case types.OpRemove, types.OpRmdir:
+			if ns.state != stExists {
+				violate("history[%d]: remove issued on a name not known to exist (state %d): %s", i, ns.state, o)
+				continue
+			}
+			switch o.Outcome {
+			case OK:
+				ns.state = stAbsent
+			case Unknown:
+				ns.state = stUnknown
+			case FailedNotFound:
+				// The create definitely succeeded; the entry must be there.
+				violate("history[%d]: remove observed 'not found' on a committed entry: %s", i, o)
+				ns.state = stUnknown
+			default:
+				// Definite abort: the entry survives untouched.
+			}
+		case types.OpLookup:
+			switch o.Outcome {
+			case Unknown, Failed:
+				// No information.
+			case OK:
+				if o.Found {
+					if ns.state == stAbsent {
+						violate("history[%d]: lookup found a name the model says is absent: %s", i, o)
+					} else if o.SawIno != ns.ino && ns.state != stFresh {
+						violate("history[%d]: lookup resolved to foreign ino (want %d): %s", i, ns.ino, o)
+					}
+				} else {
+					if ns.state == stExists {
+						violate("history[%d]: lookup lost a committed entry: %s", i, o)
+					}
+				}
+			case FailedNotFound:
+				if ns.state == stExists {
+					violate("history[%d]: lookup lost a committed entry: %s", i, o)
+				}
+			}
+		default:
+			// Stat/SetAttr and friends: no name-level effect.
+		}
+	}
+
+	// Final-state equivalence: every name must have settled into a state
+	// the sequential model can reach.
+	for k, ns := range states {
+		ino, found := final[k.name]
+		switch ns.state {
+		case stExists:
+			if !found {
+				bad = append(bad, fmt.Sprintf("final: committed entry %q (worker %d) is gone", k.name, k.worker))
+			} else if ino != ns.ino {
+				bad = append(bad, fmt.Sprintf("final: entry %q -> ino %d, model says %d", k.name, ino, ns.ino))
+			}
+		case stAbsent:
+			if found {
+				bad = append(bad, fmt.Sprintf("final: absent entry %q left residue (ino %d)", k.name, ino))
+			}
+		case stUnknown:
+			if found && ino != ns.ino {
+				bad = append(bad, fmt.Sprintf("final: unknown-outcome entry %q -> foreign ino %d (model allows absent or %d)", k.name, ino, ns.ino))
+			}
+		}
+	}
+	return bad
+}
+
+// HistoryHash digests a history into a compact deterministic value; two
+// runs with the same seed and flags must produce identical hashes. The
+// hash covers every field of every op via Op.String.
+func HistoryHash(hist []Op) uint64 {
+	h := fnv.New64a()
+	for _, o := range hist {
+		fmt.Fprintln(h, o.String())
+	}
+	return h.Sum64()
+}

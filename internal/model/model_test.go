@@ -1,0 +1,177 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cxfs/internal/types"
+)
+
+func create(w int, name string, ino types.InodeID, out Outcome) Op {
+	return Op{Worker: w, Kind: types.OpCreate, Name: name, Ino: ino, Outcome: out}
+}
+
+func remove(w int, name string, ino types.InodeID, out Outcome) Op {
+	return Op{Worker: w, Kind: types.OpRemove, Name: name, Ino: ino, Outcome: out}
+}
+
+func lookup(w int, name string, ino types.InodeID, out Outcome, found bool, saw types.InodeID) Op {
+	return Op{Worker: w, Kind: types.OpLookup, Name: name, Ino: ino, Outcome: out, Found: found, SawIno: saw}
+}
+
+func wantClean(t *testing.T, hist []Op, final map[string]types.InodeID) {
+	t.Helper()
+	if bad := Check(hist, final); len(bad) != 0 {
+		t.Errorf("clean history flagged: %v", bad)
+	}
+}
+
+func wantViolation(t *testing.T, hist []Op, final map[string]types.InodeID, substr string) {
+	t.Helper()
+	bad := Check(hist, final)
+	if len(bad) == 0 {
+		t.Fatalf("violation %q not detected", substr)
+	}
+	for _, v := range bad {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Errorf("violations %v do not mention %q", bad, substr)
+}
+
+func TestCleanSequentialHistory(t *testing.T) {
+	hist := []Op{
+		create(0, "a", 10, OK),
+		lookup(0, "a", 10, OK, true, 10),
+		remove(0, "a", 10, OK),
+		lookup(0, "a", 10, OK, false, 0),
+		create(0, "b", 11, OK),
+	}
+	wantClean(t, hist, map[string]types.InodeID{"b": 11})
+}
+
+func TestCommittedEntryGoneIsViolation(t *testing.T) {
+	hist := []Op{create(0, "a", 10, OK)}
+	wantViolation(t, hist, map[string]types.InodeID{}, "is gone")
+}
+
+func TestRemovedEntryResidueIsViolation(t *testing.T) {
+	hist := []Op{create(0, "a", 10, OK), remove(0, "a", 10, OK)}
+	wantViolation(t, hist, map[string]types.InodeID{"a": 10}, "residue")
+}
+
+func TestAbortedCreateResidueIsViolation(t *testing.T) {
+	hist := []Op{create(0, "a", 10, Failed)}
+	wantViolation(t, hist, map[string]types.InodeID{"a": 10}, "residue")
+}
+
+func TestUnknownOutcomeAllowsBothFinalStates(t *testing.T) {
+	hist := []Op{create(0, "a", 10, Unknown)}
+	wantClean(t, hist, map[string]types.InodeID{})        // never applied
+	wantClean(t, hist, map[string]types.InodeID{"a": 10}) // applied
+	wantViolation(t, hist, map[string]types.InodeID{"a": 99}, "foreign ino")
+}
+
+func TestLookupOnRemovedEntryMustMiss(t *testing.T) {
+	hist := []Op{
+		create(0, "a", 10, OK),
+		remove(0, "a", 10, OK),
+		lookup(0, "a", 10, OK, true, 10),
+	}
+	wantViolation(t, hist, map[string]types.InodeID{}, "absent")
+}
+
+func TestLookupLosingCommittedEntryIsViolation(t *testing.T) {
+	hist := []Op{
+		create(0, "a", 10, OK),
+		lookup(0, "a", 10, OK, false, 0),
+	}
+	wantViolation(t, hist, map[string]types.InodeID{"a": 10}, "lost a committed entry")
+}
+
+func TestLookupForeignInoIsViolation(t *testing.T) {
+	hist := []Op{
+		create(0, "a", 10, OK),
+		lookup(0, "a", 10, OK, true, 77),
+	}
+	wantViolation(t, hist, map[string]types.InodeID{"a": 10}, "foreign ino")
+}
+
+func TestCreateExistsOnFreshNameIsViolation(t *testing.T) {
+	hist := []Op{create(0, "a", 10, FailedExists)}
+	wantViolation(t, hist, map[string]types.InodeID{}, "fresh name")
+}
+
+func TestRemoveNotFoundOnCommittedEntryIsViolation(t *testing.T) {
+	hist := []Op{
+		create(0, "a", 10, OK),
+		remove(0, "a", 10, FailedNotFound),
+	}
+	wantViolation(t, hist, map[string]types.InodeID{}, "committed entry")
+}
+
+func TestAbortedRemoveKeepsEntryAlive(t *testing.T) {
+	hist := []Op{
+		create(0, "a", 10, OK),
+		remove(0, "a", 10, Failed),
+		lookup(0, "a", 10, OK, true, 10),
+	}
+	wantClean(t, hist, map[string]types.InodeID{"a": 10})
+	wantViolation(t, hist, map[string]types.InodeID{}, "is gone")
+}
+
+func TestWorkersAreIndependentNamespacesPerName(t *testing.T) {
+	// Two workers on distinct names; an interleaved history replays clean.
+	hist := []Op{
+		create(0, "w0 a", 10, OK),
+		create(1, "w1 a", 20, OK),
+		remove(1, "w1 a", 20, OK),
+		lookup(0, "w0 a", 10, OK, true, 10),
+	}
+	wantClean(t, hist, map[string]types.InodeID{"w0 a": 10})
+}
+
+func TestNameReuseIsFlaggedAsMalformedHistory(t *testing.T) {
+	hist := []Op{
+		create(0, "a", 10, OK),
+		create(0, "a", 11, OK),
+	}
+	wantViolation(t, hist, map[string]types.InodeID{"a": 10}, "name reused")
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Outcome
+	}{
+		{nil, OK},
+		{types.ErrTimeout, Unknown},
+		{fmt.Errorf("wrapped: %w", types.ErrTimeout), Unknown},
+		{types.ErrExists, FailedExists},
+		{types.ErrNotFound, FailedNotFound},
+		{errors.New("aborted"), Failed},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestHistoryHashIsOrderAndFieldSensitive(t *testing.T) {
+	a := []Op{create(0, "a", 10, OK), remove(0, "a", 10, OK)}
+	b := []Op{remove(0, "a", 10, OK), create(0, "a", 10, OK)}
+	if HistoryHash(a) == HistoryHash(b) {
+		t.Error("hash ignores order")
+	}
+	c := []Op{create(0, "a", 10, OK), remove(0, "a", 10, Unknown)}
+	if HistoryHash(a) == HistoryHash(c) {
+		t.Error("hash ignores outcome")
+	}
+	if HistoryHash(a) != HistoryHash([]Op{a[0], a[1]}) {
+		t.Error("hash not deterministic")
+	}
+}

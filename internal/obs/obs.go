@@ -219,6 +219,7 @@ type Observer struct {
 	dropped uint64
 
 	phaseCount [numPhases]uint64
+	flush      FlushStats
 
 	series map[string]*stats.Series
 

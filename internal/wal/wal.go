@@ -110,6 +110,15 @@ type Stats struct {
 	BytesWritten int64
 	Pruned       uint64 // records removed by pruning
 	FullStalls   uint64 // times an append had to wait for space
+	GroupFlushes uint64 // group-commit disk writes (subset of Appends)
+	GroupedReqs  uint64 // caller append requests coalesced by group commit
+}
+
+// flushReq is one caller batch parked in the group-commit flush window.
+type flushReq struct {
+	recs  []Record
+	total int64
+	done  *simrt.Chan[struct{}]
 }
 
 // WAL is one server's operation log.
@@ -129,6 +138,15 @@ type WAL struct {
 	pruneHook   func(op types.OpID, bytes int64)
 	crashed     bool
 
+	// Group commit: when linger > 0, appends from concurrent Procs enqueue
+	// into window and a single flusher Proc writes them as one sequential
+	// disk request after the linger expires, waking every parked caller.
+	linger    time.Duration
+	window    []flushReq
+	winBytes  int64 // bytes parked in the window, counted by the space gate
+	flusherOn bool
+	flushHook func(batches, records int, bytes int64)
+
 	stats Stats
 }
 
@@ -147,6 +165,25 @@ func (w *WAL) SetFullHandler(fn func()) { w.fullHandler = fn }
 // the op and the bytes it released. The cluster wires the observability
 // trace through it so the WAL stays free of higher-layer imports.
 func (w *WAL) SetPruneHook(fn func(op types.OpID, bytes int64)) { w.pruneHook = fn }
+
+// SetGroupCommit enables the cross-proc group-commit scheduler: concurrent
+// appenders park in a flush window for up to linger of virtual time and a
+// single flusher writes the coalesced window as one sequential disk request.
+// linger = 0 restores the direct per-batch write path. Must be set while the
+// log is quiescent (no appends in flight).
+func (w *WAL) SetGroupCommit(linger time.Duration) { w.linger = linger }
+
+// GroupLinger returns the configured group-commit linger (0 = disabled).
+func (w *WAL) GroupLinger() time.Duration { return w.linger }
+
+// SetFlushHook registers fn to be invoked after each successful group-commit
+// flush with the number of caller batches coalesced, the records written,
+// and the bytes of the single disk request. Observability wiring.
+func (w *WAL) SetFlushHook(fn func(batches, records int, bytes int64)) { w.flushHook = fn }
+
+// MaxBytes returns the log's live-byte limit (0 = unlimited); the commit
+// daemon's adaptive lazy period reads it to gauge log pressure.
+func (w *WAL) MaxBytes() int64 { return w.max }
 
 // Stats returns a snapshot of accumulated statistics.
 func (w *WAL) Stats() Stats { return w.stats }
@@ -206,6 +243,10 @@ func (w *WAL) appendBatch(p *simrt.Proc, recs []Record, priority bool) {
 			return
 		}
 	}
+	if w.linger > 0 {
+		w.groupAppend(p, recs, total)
+		return
+	}
 	// Reserve the offset range before blocking on the disk so concurrent
 	// appenders write disjoint, in-order regions.
 	off := w.head
@@ -222,12 +263,72 @@ func (w *WAL) appendBatch(p *simrt.Proc, recs []Record, priority bool) {
 	w.stats.BytesWritten += total
 }
 
-// waitForSpace blocks until live+need fits under the limit.
+// groupAppend parks the caller's batch in the flush window and blocks until
+// the flusher has written it (or the server crashed with it in flight). The
+// first batch into an empty window spawns the flusher.
+func (w *WAL) groupAppend(p *simrt.Proc, recs []Record, total int64) {
+	done := simrt.NewChan[struct{}](w.sim)
+	w.window = append(w.window, flushReq{recs: recs, total: total, done: done})
+	w.winBytes += total
+	if !w.flusherOn {
+		w.flusherOn = true
+		w.sim.Spawn("wal-flusher", w.flusher)
+	}
+	done.Recv(p)
+}
+
+// flusher is the single group-commit writer: sleep out the linger, then
+// drain the window in coalesced sequential writes. Batches that arrive while
+// a write is on the platter are picked up by the next loop iteration without
+// a fresh linger — they already waited their share. Exits when the window
+// drains; the next enqueue respawns it.
+func (w *WAL) flusher(p *simrt.Proc) {
+	p.Sleep(w.linger)
+	for len(w.window) > 0 {
+		batch := w.window
+		w.window = nil
+		var total int64
+		records := 0
+		for _, fr := range batch {
+			total += fr.total
+			records += len(fr.recs)
+		}
+		w.winBytes -= total
+		off := w.head
+		w.head += total
+		w.dsk.Access(p, w.base+off, total, true)
+		if !w.crashed {
+			for _, fr := range batch {
+				for i := range fr.recs {
+					w.admit(fr.recs[i], encodedSize(&fr.recs[i]))
+				}
+			}
+			w.stats.Appends++
+			w.stats.Records += uint64(records)
+			w.stats.BytesWritten += total
+			w.stats.GroupFlushes++
+			w.stats.GroupedReqs += uint64(len(batch))
+			if w.flushHook != nil {
+				w.flushHook(len(batch), records, total)
+			}
+		}
+		for _, fr := range batch {
+			fr.done.Send(struct{}{})
+		}
+	}
+	w.flusherOn = false
+}
+
+// waitForSpace blocks until live + windowed + need fits under the limit.
+// A batch larger than the whole log can never fit no matter how much
+// pruning frees, so gating it would wedge the appender (and its server)
+// forever; such a batch is admitted with a transient overshoot instead —
+// the same overshoot priority appends are already allowed.
 func (w *WAL) waitForSpace(p *simrt.Proc, need int64) {
-	if w.max <= 0 {
+	if w.max <= 0 || need > w.max {
 		return
 	}
-	for w.live+need > w.max {
+	for w.live+w.winBytes+need > w.max {
 		w.stats.FullStalls++
 		ch := simrt.NewChan[struct{}](w.sim)
 		w.waiters = append(w.waiters, fullWaiter{need: need, ch: ch})
@@ -289,7 +390,7 @@ func (w *WAL) wakeWaiters() {
 	}
 	remaining := w.waiters[:0]
 	for _, fw := range w.waiters {
-		if w.live+fw.need <= w.max {
+		if w.live+w.winBytes+fw.need <= w.max {
 			fw.ch.Send(struct{}{})
 		} else {
 			remaining = append(remaining, fw)
@@ -300,12 +401,20 @@ func (w *WAL) wakeWaiters() {
 
 // Crash marks the log's server down: in-flight and future appends are
 // discarded (not durable) and stalled appenders are released into the void.
+// Batches parked in the group-commit window die with the server: their
+// callers are released and the records never admitted. The flusher itself
+// wakes from its disk write, sees the crash, and exits without admitting.
 func (w *WAL) Crash() {
 	w.crashed = true
 	for _, fw := range w.waiters {
 		fw.ch.Send(struct{}{})
 	}
 	w.waiters = nil
+	for _, fr := range w.window {
+		fr.done.Send(struct{}{})
+	}
+	w.window = nil
+	w.winBytes = 0
 }
 
 // Reboot re-enables the log after Crash. The index still holds every record
