@@ -1,0 +1,109 @@
+// Command benchdiff compares a candidate replay-bench artifact (a fresh
+// `cxbench -exp replay -json` run) against the committed BENCH_*.json
+// baseline, enforcing the perf-trajectory gates:
+//
+//   - allocs/op is machine-independent: a regression beyond the threshold
+//     (default 20%) is a hard failure (exit 1);
+//   - ops/s depends on the runner: a regression beyond its threshold
+//     (default 10%) only annotates, unless -strict makes it fatal too.
+//
+// Output uses GitHub workflow commands (::error / ::warning) so regressions
+// surface as PR annotations; run locally they are just greppable lines.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_6.json -cand /tmp/candidate.json
+//	benchdiff -base BENCH_6.json -cand /tmp/candidate.json -strict
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cxfs/internal/harness"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "committed baseline BENCH_*.json")
+		candPath  = flag.String("cand", "", "candidate artifact from this run")
+		allocsTol = flag.Float64("allocs-tol", 0.20, "fractional allocs/op regression that fails the build")
+		opsTol    = flag.Float64("ops-tol", 0.10, "fractional ops/s regression that annotates (or fails with -strict)")
+		strict    = flag.Bool("strict", false, "treat an ops/s regression as fatal (same-machine comparisons only)")
+	)
+	flag.Parse()
+	if *basePath == "" || *candPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -cand are required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := load(*candPath)
+	if err != nil {
+		fatal(err)
+	}
+	if base.Workload != cand.Workload || base.Scale != cand.Scale || base.Servers != cand.Servers {
+		fatal(fmt.Errorf("artifacts are not comparable: base is %s@%g/%d servers, candidate is %s@%g/%d",
+			base.Workload, base.Scale, base.Servers, cand.Workload, cand.Scale, cand.Servers))
+	}
+
+	fmt.Printf("benchdiff: %s@%g  allocs/op %.1f -> %.1f  ops/s %.0f -> %.0f\n",
+		base.Workload, base.Scale,
+		base.MeanAllocsPerOp, cand.MeanAllocsPerOp,
+		base.MeanOpsPerSec, cand.MeanOpsPerSec)
+
+	failed := false
+	if d := frac(cand.MeanAllocsPerOp, base.MeanAllocsPerOp); d > *allocsTol {
+		fmt.Printf("::error::allocs/op regressed %.1f%% (%.1f -> %.1f), tolerance %.0f%%\n",
+			d*100, base.MeanAllocsPerOp, cand.MeanAllocsPerOp, *allocsTol*100)
+		failed = true
+	}
+	// ops/s regresses when the candidate is SLOWER, i.e. the rate drops.
+	if d := frac(base.MeanOpsPerSec, cand.MeanOpsPerSec); d > *opsTol {
+		sev := "warning"
+		if *strict {
+			sev = "error"
+			failed = true
+		}
+		fmt.Printf("::%s::ops/s regressed %.1f%% (%.0f -> %.0f), tolerance %.0f%% "+
+			"(wall-clock is host-dependent; committed baseline is from the reference machine)\n",
+			sev, d*100, base.MeanOpsPerSec, cand.MeanOpsPerSec, *opsTol*100)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within tolerance")
+}
+
+// frac returns how much worse `worse` is than `better` as a fraction of
+// `better` (positive = regression), guarding the zero baseline.
+func frac(worse, better float64) float64 {
+	if better <= 0 {
+		return 0
+	}
+	return (worse - better) / better
+}
+
+func load(path string) (harness.BenchResult, error) {
+	var out harness.BenchResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out.Seeds) == 0 {
+		return out, fmt.Errorf("%s: no seed rows", path)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}

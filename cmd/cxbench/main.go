@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,7 +51,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|metarates|latency|triggers|chaos|all)")
+		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|metarates|latency|triggers|chaos|replay|all)")
 		scale    = flag.Float64("scale", 0.004, "fraction of each paper trace's op count to replay")
 		servers  = flag.Int("servers", 8, "metadata servers for trace-driven experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -61,7 +62,9 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "client dispatch depth for metarates/chaos (0 or 1 = classic closed loop)")
 		linger   = flag.Duration("linger", 0, "WAL group-commit linger window (0 = flush each append directly)")
 		adaptive = flag.Bool("adaptive", false, "metarates: add the adaptive-lazy-period row")
-		jsonOut  = flag.String("json", "", "metarates: also write the rows as JSON to this file")
+		jsonOut  = flag.String("json", "", "metarates/replay: also write the rows as JSON to this file")
+		workload = flag.String("workload", "s3d", "replay: trace profile to bench")
+		seeds    = flag.String("seeds", "", "replay: comma-separated seed matrix (default the fixed trajectory matrix)")
 	)
 	flag.Parse()
 
@@ -73,7 +76,18 @@ func main() {
 	cfg := harness.Config{Scale: *scale, Servers: *servers, Seed: *seed, Obs: obsv}
 	ccfg := chaos.Config{Seed: *seed, Duration: *duration, FaultRate: *fltRate,
 		Pipeline: *pipeline, GroupLinger: *linger}
-	bo := benchOpts{pipeline: *pipeline, linger: *linger, adaptive: *adaptive, jsonOut: *jsonOut}
+	bo := benchOpts{pipeline: *pipeline, linger: *linger, adaptive: *adaptive, jsonOut: *jsonOut,
+		workload: *workload}
+	if *seeds != "" {
+		for _, s := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cxbench: bad -seeds entry %q: %v\n", s, err)
+				os.Exit(1)
+			}
+			bo.seeds = append(bo.seeds, v)
+		}
+	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "metarates", "latency", "triggers"}
@@ -105,10 +119,27 @@ type benchOpts struct {
 	linger   time.Duration
 	adaptive bool
 	jsonOut  string
+	workload string
+	seeds    []int64
 }
 
 func run(id string, cfg harness.Config, ccfg chaos.Config, bo benchOpts) error {
 	switch id {
+	case "replay":
+		seeds := bo.seeds
+		if len(seeds) == 0 {
+			seeds = harness.DefaultBenchSeeds
+		}
+		res := harness.ReplayBench(cfg, bo.workload, seeds)
+		fmt.Println(res.Table())
+		fmt.Printf("replay: mean %.0f ops/s, %.1f allocs/op over %d seeds\n",
+			res.MeanOpsPerSec, res.MeanAllocsPerOp, len(res.Seeds))
+		if bo.jsonOut != "" {
+			if err := writeRowsJSON(bo.jsonOut, res); err != nil {
+				return err
+			}
+			fmt.Printf("replay: bench artifact -> %s\n", bo.jsonOut)
+		}
 	case "metarates":
 		rows, tbl := harness.MetaratesGroupCommit(cfg, harness.MetaratesGCOpts{
 			Pipeline: bo.pipeline, Linger: bo.linger, Adaptive: bo.adaptive})
@@ -200,8 +231,8 @@ func protocolsExtension(cfg harness.Config) *stats.Table {
 	return tbl
 }
 
-// writeRowsJSON dumps the metarates comparison rows for CI artifacts.
-func writeRowsJSON(path string, rows []harness.MetaratesGCRow) error {
+// writeRowsJSON dumps an experiment's rows or artifact for CI.
+func writeRowsJSON(path string, rows any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestReplayBenchSmoke runs the trajectory bench at a tiny scale and checks
+// the artifact is complete: every seed measured, means computed, and the
+// JSON round-trips (the committed BENCH_*.json files and benchdiff both
+// depend on the field set).
+func TestReplayBenchSmoke(t *testing.T) {
+	cfg := Config{Scale: 0.002, Servers: 4, Seed: 1}
+	res := ReplayBench(cfg, "s3d", []int64{1, 2})
+	if len(res.Seeds) != 2 {
+		t.Fatalf("got %d seed rows, want 2", len(res.Seeds))
+	}
+	for _, s := range res.Seeds {
+		if s.Ops <= 0 || s.OpsPerSec <= 0 || s.AllocsPerOp <= 0 || s.WallMS <= 0 {
+			t.Errorf("seed %d row has non-positive metrics: %+v", s.Seed, s)
+		}
+		if s.VirtualTime <= 0 || s.Messages == 0 {
+			t.Errorf("seed %d missing simulation results: %+v", s.Seed, s)
+		}
+	}
+	if res.MeanOpsPerSec <= 0 || res.MeanAllocsPerOp <= 0 {
+		t.Errorf("means not computed: %+v", res)
+	}
+	if res.Workload != "s3d" || res.Protocol != "cx" {
+		t.Errorf("artifact header wrong: %+v", res)
+	}
+
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MeanAllocsPerOp != res.MeanAllocsPerOp || len(back.Seeds) != 2 {
+		t.Errorf("JSON round-trip lost data: %+v", back)
+	}
+	if tbl := res.Table().String(); !strings.Contains(tbl, "mean") {
+		t.Errorf("table missing mean row:\n%s", tbl)
+	}
+}

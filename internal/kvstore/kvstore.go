@@ -59,17 +59,43 @@ const JournalRecBytes = 1024
 // by ~15% in the paper despite both paying one sync log write per sub-op.
 const SyncCommitCPU = 300 * time.Microsecond
 
+// NumShards is the fan-out of the row images. Rows hash over the shards by
+// key (FNV-1a), so the dentry and inode maps of a busy server stop funneling
+// every access through one big map: each map stays small (better probe
+// behavior, cheaper growth) and concurrent MDS handler procs touch disjoint
+// shards for disjoint key ranges.
+const NumShards = 16
+
+// kvShard holds one shard of the row images.
+type kvShard struct {
+	mem     map[string][]byte // volatile image
+	durable map[string][]byte // image implied by completed page writes
+	dirty   map[string]bool   // keys with volatile changes not yet written
+}
+
+// shardOf hashes a row key onto a shard (inlined FNV-1a, no allocation).
+func shardOf(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h & (NumShards - 1))
+}
+
 // Store is one server's metadata database.
 type Store struct {
 	sim  *simrt.Sim
 	dsk  *disk.Disk
 	base int64 // disk offset of the database region
 
-	mem     map[string][]byte // volatile image
-	durable map[string][]byte // image implied by completed page writes
-	slots   map[string]int64  // key -> page slot, assigned at first write
-	next    int64             // next free page slot
-	dirty   map[string]bool   // keys with volatile changes not yet written
+	shards [NumShards]kvShard
+	slots  map[string]int64 // key -> page slot, assigned at first write
+	next   int64            // next free page slot
 
 	// Synchronous-mode machinery: BDB-style transaction journal plus a
 	// periodic checkpointer writing journaled pages in place. syncMu is
@@ -91,15 +117,20 @@ func New(s *simrt.Sim, d *disk.Disk, base int64) *Store {
 
 // NewWithJournal places the journal region explicitly.
 func NewWithJournal(s *simrt.Sim, d *disk.Disk, base, journalBase int64) *Store {
-	return &Store{
+	st := &Store{
 		sim: s, dsk: d, base: base, journalBase: journalBase,
-		mem:         make(map[string][]byte),
-		durable:     make(map[string][]byte),
 		slots:       make(map[string]int64),
-		dirty:       make(map[string]bool),
 		ckptPending: make(map[string]bool),
 		syncMu:      simrt.NewMutex(s),
 	}
+	for i := range st.shards {
+		st.shards[i] = kvShard{
+			mem:     make(map[string][]byte),
+			durable: make(map[string][]byte),
+			dirty:   make(map[string]bool),
+		}
+	}
+	return st
 }
 
 // Stats returns a snapshot of accumulated counters.
@@ -110,7 +141,7 @@ func (st *Store) Stats() Stats { return st.stats }
 // cost no disk time.
 func (st *Store) Get(key string) ([]byte, bool) {
 	st.stats.Gets++
-	v, ok := st.mem[key]
+	v, ok := st.shards[shardOf(key)].mem[key]
 	return v, ok
 }
 
@@ -119,8 +150,9 @@ func (st *Store) Put(key string, val []byte) {
 	st.stats.Puts++
 	cp := make([]byte, len(val))
 	copy(cp, val)
-	st.mem[key] = cp
-	st.dirty[key] = true
+	sh := &st.shards[shardOf(key)]
+	sh.mem[key] = cp
+	sh.dirty[key] = true
 	st.slot(key)
 }
 
@@ -128,8 +160,9 @@ func (st *Store) Put(key string, val []byte) {
 // deletion still rewrites the page holding the row).
 func (st *Store) Delete(key string) {
 	st.stats.Deletes++
-	delete(st.mem, key)
-	st.dirty[key] = true
+	sh := &st.shards[shardOf(key)]
+	delete(sh.mem, key)
+	sh.dirty[key] = true
 	st.slot(key)
 }
 
@@ -205,18 +238,27 @@ func (st *Store) Checkpoint(p *simrt.Proc) int {
 }
 
 // DirtyCount returns the number of dirty pages awaiting flush.
-func (st *Store) DirtyCount() int { return len(st.dirty) }
+func (st *Store) DirtyCount() int {
+	n := 0
+	for i := range st.shards {
+		n += len(st.shards[i].dirty)
+	}
+	return n
+}
 
 // FlushDirty submits every dirty page to the disk in one burst and waits
 // for all of them; the elevator merges adjacent pages. This is the batched
 // write-back path of OFS-batched and OFS-Cx.
 func (st *Store) FlushDirty(p *simrt.Proc) int {
-	if len(st.dirty) == 0 {
+	n := st.DirtyCount()
+	if n == 0 {
 		return 0
 	}
-	keys := make([]string, 0, len(st.dirty))
-	for k := range st.dirty {
-		keys = append(keys, k)
+	keys := make([]string, 0, n)
+	for i := range st.shards {
+		for k := range st.shards[i].dirty {
+			keys = append(keys, k)
+		}
 	}
 	// Deterministic submission order (ascending slot = disk layout order).
 	sort.Slice(keys, func(i, j int) bool { return st.slots[keys[i]] < st.slots[keys[j]] })
@@ -240,7 +282,7 @@ func (st *Store) FlushDirty(p *simrt.Proc) int {
 func (st *Store) FlushKeys(p *simrt.Proc, keys []string) {
 	pending := keys[:0]
 	for _, k := range keys {
-		if st.dirty[k] {
+		if st.shards[shardOf(k)].dirty[k] {
 			pending = append(pending, k)
 		}
 	}
@@ -265,13 +307,14 @@ func (st *Store) FlushKeys(p *simrt.Proc, keys []string) {
 // settle moves key's volatile value into the durable image and clears its
 // dirty mark.
 func (st *Store) settle(key string) {
-	delete(st.dirty, key)
-	if v, ok := st.mem[key]; ok {
+	sh := &st.shards[shardOf(key)]
+	delete(sh.dirty, key)
+	if v, ok := sh.mem[key]; ok {
 		cp := make([]byte, len(v))
 		copy(cp, v)
-		st.durable[key] = cp
+		sh.durable[key] = cp
 	} else {
-		delete(st.durable, key)
+		delete(sh.durable, key)
 	}
 }
 
@@ -282,39 +325,48 @@ func (st *Store) pageOffset(key string) int64 {
 // Crash discards the volatile image, simulating a server power loss: the
 // store's contents revert to the durable image on the next Recover.
 func (st *Store) Crash() {
-	st.mem = nil
-	st.dirty = make(map[string]bool)
+	for i := range st.shards {
+		st.shards[i].mem = nil
+		st.shards[i].dirty = make(map[string]bool)
+	}
 }
 
 // Recover reloads the volatile image from the durable one after a crash.
 func (st *Store) Recover() {
-	st.mem = make(map[string][]byte, len(st.durable))
-	for k, v := range st.durable {
-		cp := make([]byte, len(v))
-		copy(cp, v)
-		st.mem[k] = cp
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mem = make(map[string][]byte, len(sh.durable))
+		for k, v := range sh.durable {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			sh.mem[k] = cp
+		}
 	}
 }
 
 // Snapshot returns a copy of the volatile image; invariant checkers use it
 // to compare cross-server state after quiescence.
 func (st *Store) Snapshot() map[string][]byte {
-	out := make(map[string][]byte, len(st.mem))
-	for k, v := range st.mem {
-		cp := make([]byte, len(v))
-		copy(cp, v)
-		out[k] = cp
+	out := make(map[string][]byte, st.Len())
+	for i := range st.shards {
+		for k, v := range st.shards[i].mem {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			out[k] = cp
+		}
 	}
 	return out
 }
 
 // DurableSnapshot returns a copy of the durable image.
 func (st *Store) DurableSnapshot() map[string][]byte {
-	out := make(map[string][]byte, len(st.durable))
-	for k, v := range st.durable {
-		cp := make([]byte, len(v))
-		copy(cp, v)
-		out[k] = cp
+	out := make(map[string][]byte)
+	for i := range st.shards {
+		for k, v := range st.shards[i].durable {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			out[k] = cp
+		}
 	}
 	return out
 }
@@ -323,25 +375,34 @@ func (st *Store) DurableSnapshot() map[string][]byte {
 // write — used by CE when a migrated row returns to its home server and the
 // temporary local copy must vanish without becoming durable here.
 func (st *Store) Forget(key string) {
-	delete(st.mem, key)
-	delete(st.dirty, key)
-	delete(st.durable, key)
+	sh := &st.shards[shardOf(key)]
+	delete(sh.mem, key)
+	delete(sh.dirty, key)
+	delete(sh.durable, key)
 }
 
 // Range calls fn for every volatile row until fn returns false. Iteration
 // order is unspecified; callers needing determinism must sort.
 func (st *Store) Range(fn func(key string, val []byte) bool) {
-	for k, v := range st.mem {
-		if !fn(k, v) {
-			return
+	for i := range st.shards {
+		for k, v := range st.shards[i].mem {
+			if !fn(k, v) {
+				return
+			}
 		}
 	}
 }
 
 // Len returns the number of volatile rows.
-func (st *Store) Len() int { return len(st.mem) }
+func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		n += len(st.shards[i].mem)
+	}
+	return n
+}
 
 // String renders store state for debugging.
 func (st *Store) String() string {
-	return fmt.Sprintf("kv{rows=%d dirty=%d durable=%d}", len(st.mem), len(st.dirty), len(st.durable))
+	return fmt.Sprintf("kv{rows=%d dirty=%d shards=%d}", st.Len(), st.DirtyCount(), NumShards)
 }

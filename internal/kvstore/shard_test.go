@@ -1,0 +1,92 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cxfs/internal/simrt"
+)
+
+// TestShardOfStableAndBounded pins the shard hash: in range, and a fixed
+// function of the key (sharding must not drift between runs, or durable
+// snapshots taken across versions would disagree on layout assumptions).
+func TestShardOfStableAndBounded(t *testing.T) {
+	if err := quick.Check(func(key string) bool {
+		s := shardOf(key)
+		return s >= 0 && s < NumShards && s == shardOf(key)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardDistribution feeds the two real row-key shapes (d/<dir>/<name>
+// and i/<ino>) through the hash and checks no shard hoards the keys: a
+// degenerate hash would quietly recreate the single-map bottleneck.
+func TestShardDistribution(t *testing.T) {
+	var counts [NumShards]int
+	n := 0
+	for dir := 0; dir < 8; dir++ {
+		for f := 0; f < 256; f++ {
+			counts[shardOf(fmt.Sprintf("d/%d/f%04d", dir, f))]++
+			counts[shardOf(fmt.Sprintf("i/%d", dir*1000+f))]++
+			n += 2
+		}
+	}
+	want := n / NumShards
+	for s, c := range counts {
+		if c > 3*want {
+			t.Errorf("shard %d holds %d of %d keys (mean %d): pathological skew", s, c, n, want)
+		}
+		if c == 0 {
+			t.Errorf("shard %d received no keys", s)
+		}
+	}
+}
+
+// TestShardedImagesBehaveAsOneStore drives the full volatile/durable life
+// cycle across keys that land on different shards and checks the Store's
+// observable behavior is exactly what the single-map version gave.
+func TestShardedImagesBehaveAsOneStore(t *testing.T) {
+	withStore(t, func(p *simrt.Proc, st *Store) {
+		testShardedImages(t, p, st)
+	})
+}
+
+func testShardedImages(t *testing.T, p *simrt.Proc, st *Store) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("d/%d/f%02d", i%4, i)
+		st.Put(keys[i], []byte{byte(i)})
+	}
+	if st.Len() != 64 || st.DirtyCount() != 64 {
+		t.Fatalf("Len=%d Dirty=%d, want 64/64", st.Len(), st.DirtyCount())
+	}
+	if n := st.FlushDirty(p); n != 64 {
+		t.Fatalf("flushed %d pages, want 64", n)
+	}
+	if st.DirtyCount() != 0 {
+		t.Fatalf("dirty after flush: %d", st.DirtyCount())
+	}
+	// Post-flush mutations must vanish on crash, then recover durably.
+	st.Put(keys[0], []byte{0xFF})
+	st.Delete(keys[1])
+	st.Crash()
+	st.Recover()
+	if v, ok := st.Get(keys[0]); !ok || v[0] != 0 {
+		t.Errorf("key %q after crash = %v,%v; want durable image {0}", keys[0], v, ok)
+	}
+	if _, ok := st.Get(keys[1]); !ok {
+		t.Errorf("key %q lost: delete was volatile and must not survive crash", keys[1])
+	}
+	snap := st.Snapshot()
+	dur := st.DurableSnapshot()
+	if len(snap) != 64 || len(dur) != 64 {
+		t.Errorf("snapshots sized %d/%d, want 64/64", len(snap), len(dur))
+	}
+	for k, v := range snap {
+		if string(dur[k]) != string(v) {
+			t.Errorf("volatile and durable disagree on %q after recover", k)
+		}
+	}
+}

@@ -105,12 +105,23 @@ func decodeInode(b []byte) (Inode, error) {
 }
 
 // Row keys. Dentries and inodes share the store with distinct prefixes.
+// Built with strconv appends rather than fmt.Sprintf: key construction runs
+// on every sub-op execution and lookup, and Sprintf's interface boxing plus
+// format parsing dominated the namespace profile at replay scale.
 func dentryRow(dir types.InodeID, name string) string {
-	return fmt.Sprintf("d/%d/%s", dir, name)
+	b := make([]byte, 0, 2+20+1+len(name))
+	b = append(b, 'd', '/')
+	b = strconv.AppendUint(b, uint64(dir), 10)
+	b = append(b, '/')
+	b = append(b, name...)
+	return string(b)
 }
 
 func inodeRow(ino types.InodeID) string {
-	return fmt.Sprintf("i/%d", ino)
+	b := make([]byte, 0, 2+20)
+	b = append(b, 'i', '/')
+	b = strconv.AppendUint(b, uint64(ino), 10)
+	return string(b)
 }
 
 // RowKey returns the kvstore row key for an object key; the protocols use
@@ -279,7 +290,7 @@ type DirEntry struct {
 // striped across servers by entry hash, so a full readdir unions the
 // ListDir of every server (the OrangeFS model).
 func (sh *Shard) ListDir(dir types.InodeID) []DirEntry {
-	prefix := fmt.Sprintf("d/%d/", dir)
+	prefix := dentryRow(dir, "")
 	var out []DirEntry
 	sh.kv.Range(func(key string, val []byte) bool {
 		if len(key) > len(prefix) && key[:len(prefix)] == prefix && len(val) == 8 {

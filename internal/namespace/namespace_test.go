@@ -412,3 +412,38 @@ func TestExecFailurePathsProduceNoImages(t *testing.T) {
 		t.Error("unknown action succeeded")
 	}
 }
+
+// TestRowKeyBuilders pins the strconv-based key builders to the historical
+// Sprintf format: durable stores written by earlier versions must keep
+// resolving, so the key layout is a compatibility surface, not a detail.
+func TestRowKeyBuilders(t *testing.T) {
+	cases := []struct {
+		dir  types.InodeID
+		name string
+	}{
+		{0, ""}, {1, "f"}, {types.RootInode, "a b/c"}, {1<<63 + 7, "x"},
+	}
+	for _, c := range cases {
+		if got, want := dentryRow(c.dir, c.name), fmt.Sprintf("d/%d/%s", uint64(c.dir), c.name); got != want {
+			t.Errorf("dentryRow(%d,%q) = %q, want %q", c.dir, c.name, got, want)
+		}
+	}
+	for _, ino := range []types.InodeID{0, 1, types.RootInode, 1<<64 - 1} {
+		if got, want := inodeRow(ino), fmt.Sprintf("i/%d", uint64(ino)); got != want {
+			t.Errorf("inodeRow(%d) = %q, want %q", ino, got, want)
+		}
+	}
+}
+
+// TestRowKeySingleAlloc keeps the builders honest: the inode key is one
+// string allocation; the dentry key pays at most a scratch buffer plus the
+// string (its capacity depends on len(name), so the buffer can't live on
+// the stack). Sprintf paid double that plus interface boxing.
+func TestRowKeySingleAlloc(t *testing.T) {
+	if a := testing.AllocsPerRun(200, func() { _ = dentryRow(12345, "file-0001") }); a > 2 {
+		t.Errorf("dentryRow allocates %.1f objects, want <=2", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { _ = inodeRow(12345) }); a > 1 {
+		t.Errorf("inodeRow allocates %.1f objects, want <=1", a)
+	}
+}

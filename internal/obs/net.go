@@ -1,0 +1,77 @@
+package obs
+
+import "sync/atomic"
+
+// NetCounters tracks connection-level events on the real-network transport.
+//
+// Unlike Observer — which is single-threaded by the simulation's scheduler
+// handshake — the TCP transport runs one goroutine per connection, so these
+// counters are atomics. Every method is nil-safe: a nil *NetCounters is the
+// disabled default and costs one nil check.
+type NetCounters struct {
+	accepted      atomic.Uint64
+	cleanCloses   atomic.Uint64
+	corruptFrames atomic.Uint64
+	abruptCloses  atomic.Uint64
+	writeErrors   atomic.Uint64
+}
+
+// ConnAccepted records a connection admitted by the accept loop.
+func (n *NetCounters) ConnAccepted() {
+	if n != nil {
+		n.accepted.Add(1)
+	}
+}
+
+// CleanClose records a peer that finished with an orderly EOF.
+func (n *NetCounters) CleanClose() {
+	if n != nil {
+		n.cleanCloses.Add(1)
+	}
+}
+
+// CorruptFrame records a connection dropped because a frame failed to
+// decode (bad length prefix, truncated body layout, unknown trailing data).
+func (n *NetCounters) CorruptFrame() {
+	if n != nil {
+		n.corruptFrames.Add(1)
+	}
+}
+
+// AbruptClose records a connection that died mid-frame or with a transport
+// I/O error — the peer vanished rather than framing a goodbye.
+func (n *NetCounters) AbruptClose() {
+	if n != nil {
+		n.abruptCloses.Add(1)
+	}
+}
+
+// WriteError records a reply that could not be written back.
+func (n *NetCounters) WriteError() {
+	if n != nil {
+		n.writeErrors.Add(1)
+	}
+}
+
+// NetSnapshot is a point-in-time copy of the counters.
+type NetSnapshot struct {
+	Accepted      uint64
+	CleanCloses   uint64
+	CorruptFrames uint64
+	AbruptCloses  uint64
+	WriteErrors   uint64
+}
+
+// Snapshot reads all counters. Safe on nil (returns zeros).
+func (n *NetCounters) Snapshot() NetSnapshot {
+	if n == nil {
+		return NetSnapshot{}
+	}
+	return NetSnapshot{
+		Accepted:      n.accepted.Load(),
+		CleanCloses:   n.cleanCloses.Load(),
+		CorruptFrames: n.corruptFrames.Load(),
+		AbruptCloses:  n.abruptCloses.Load(),
+		WriteErrors:   n.writeErrors.Load(),
+	}
+}

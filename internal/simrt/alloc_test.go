@@ -1,0 +1,110 @@
+package simrt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEventFreelistRecycles proves dispatched events return to the freelist
+// and get reused: a chain of sequential timers must not leave the freelist
+// empty, and the heap must not retain popped events.
+func TestEventFreelistRecycles(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 100 {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+	if n != 100 {
+		t.Fatalf("ran %d ticks, want 100", n)
+	}
+	if len(s.free) == 0 {
+		t.Error("freelist empty after run; events are not being recycled")
+	}
+	if len(s.free) > maxFreeEvents {
+		t.Errorf("freelist %d exceeds bound %d", len(s.free), maxFreeEvents)
+	}
+}
+
+// TestScheduleSteadyStateNoAlloc measures the schedule+dispatch cycle with a
+// pre-built closure: after warm-up, the event machinery itself must be
+// allocation-free (the freelist supplies the struct, the heap reuses its
+// backing array, and boxing a pointer into an interface does not allocate).
+func TestScheduleSteadyStateNoAlloc(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the freelist and heap capacity
+		s.After(0, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(0, fn)
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("schedule+run allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestChanDrainRefillReusesBuffer checks the mailbox rhythm — burst of
+// sends, drain to empty, repeat — reuses the buffer's backing array instead
+// of reallocating per cycle.
+func TestChanDrainRefillReusesBuffer(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s)
+	for i := 0; i < 16; i++ { // establish capacity
+		c.Send(i)
+	}
+	for {
+		if _, ok := c.TryRecv(); !ok {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			c.Send(i)
+		}
+		for i := 0; i < 8; i++ {
+			if _, ok := c.TryRecv(); !ok {
+				panic("queue underflow")
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("drain/refill cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestChanLongLivedQueueCompacts drives a queue that never fully drains past
+// the compaction threshold and checks FIFO order plus bounded head growth.
+func TestChanLongLivedQueueCompacts(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s)
+	next := 0
+	want := 0
+	// Keep ~16 in flight across many thousands of cycles.
+	for i := 0; i < 16; i++ {
+		c.Send(next)
+		next++
+	}
+	for cycle := 0; cycle < 5000; cycle++ {
+		c.Send(next)
+		next++
+		v, ok := c.TryRecv()
+		if !ok || v != want {
+			t.Fatalf("cycle %d: got %d,%v want %d,true", cycle, v, ok, want)
+		}
+		want++
+	}
+	if c.head > 2*1024+32 {
+		t.Errorf("head index %d grew without compaction", c.head)
+	}
+	if c.Len() != 16 {
+		t.Errorf("Len = %d, want 16", c.Len())
+	}
+}

@@ -18,9 +18,15 @@ type waiter[T any] struct {
 // scheduled event functions); the scheduler serializes all access, so no
 // locking is needed or provided.
 type Chan[T any] struct {
-	sim     *Sim
+	sim *Sim
+	// buf[head:] holds the queued values. Consuming advances head instead of
+	// re-slicing, so the backing array's capacity is reused across
+	// drain/refill cycles — a server mailbox processes millions of messages
+	// through one allocation instead of reallocating per burst.
 	buf     []T
+	head    int
 	waiters []*waiter[T]
+	whead   int
 	closed  bool
 }
 
@@ -30,7 +36,26 @@ func NewChan[T any](s *Sim) *Chan[T] {
 }
 
 // Len returns the number of buffered values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.head }
+
+// popBuf removes and returns the oldest buffered value, reclaiming the
+// backing array when the queue drains (the common mailbox rhythm) or when
+// the dead prefix dominates a long-lived queue.
+func (c *Chan[T]) popBuf() T {
+	v := c.buf[c.head]
+	var zero T
+	c.buf[c.head] = zero // release for GC
+	c.head++
+	if c.head == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.head = 0
+	} else if c.head > 1024 && c.head*2 >= len(c.buf) {
+		n := copy(c.buf, c.buf[c.head:])
+		c.buf = c.buf[:n]
+		c.head = 0
+	}
+	return v
+}
 
 // Send enqueues v, waking the oldest parked receiver if any. The woken
 // receiver resumes at the current virtual time, after the sender's event
@@ -39,9 +64,14 @@ func (c *Chan[T]) Send(v T) {
 	if c.closed {
 		panic("simrt: send on closed Chan")
 	}
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for c.whead < len(c.waiters) {
+		w := c.waiters[c.whead]
+		c.waiters[c.whead] = nil
+		c.whead++
+		if c.whead == len(c.waiters) {
+			c.waiters = c.waiters[:0]
+			c.whead = 0
+		}
 		if w.timedOut {
 			continue
 		}
@@ -62,14 +92,14 @@ func (c *Chan[T]) Close() {
 	}
 	c.closed = true
 	s := c.sim
-	for _, w := range c.waiters {
+	for _, w := range c.waiters[c.whead:] {
 		if w.timedOut {
 			continue
 		}
 		w := w
 		s.schedule(s.now, func() { s.resume(w.proc, wakeMsg{}) })
 	}
-	c.waiters = nil
+	c.waiters, c.whead = nil, 0
 }
 
 // Recv returns the next value, parking p until one is available. It panics
@@ -85,10 +115,8 @@ func (c *Chan[T]) Recv(p *Proc) T {
 // RecvOK returns the next value and true, or the zero value and false if the
 // Chan is closed and drained.
 func (c *Chan[T]) RecvOK(p *Proc) (T, bool) {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
-		return v, true
+	if c.Len() > 0 {
+		return c.popBuf(), true
 	}
 	if c.closed {
 		var zero T
@@ -107,10 +135,8 @@ func (c *Chan[T]) RecvOK(p *Proc) (T, bool) {
 // TryRecv returns the next value without blocking, or ok=false if none is
 // buffered.
 func (c *Chan[T]) TryRecv() (T, bool) {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
-		return v, true
+	if c.Len() > 0 {
+		return c.popBuf(), true
 	}
 	var zero T
 	return zero, false
@@ -119,10 +145,8 @@ func (c *Chan[T]) TryRecv() (T, bool) {
 // RecvTimeout is Recv with a deadline: it returns ok=false if no value
 // arrives within d of virtual time.
 func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (T, bool) {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
-		return v, true
+	if c.Len() > 0 {
+		return c.popBuf(), true
 	}
 	if c.closed {
 		var zero T

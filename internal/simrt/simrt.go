@@ -74,6 +74,7 @@ type Sim struct {
 	now     time.Duration
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled event structs; chaos/replay runs schedule millions
 	cur     *Proc
 	parkCh  chan struct{}
 	stopped bool
@@ -108,13 +109,36 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // EventsRun returns how many events the scheduler has dispatched.
 func (s *Sim) EventsRun() uint64 { return s.eventsRun }
 
-// schedule enqueues fn to run at absolute virtual time at.
+// schedule enqueues fn to run at absolute virtual time at. Event structs
+// come from the freelist when available, so steady-state scheduling does not
+// allocate beyond the caller's closure.
 func (s *Sim) schedule(at time.Duration, fn func()) {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.seq, e.fn = at, s.seq, fn
+	} else {
+		e = &event{at: at, seq: s.seq, fn: fn}
+	}
+	heap.Push(&s.events, e)
+}
+
+// maxFreeEvents bounds the freelist so a burst does not pin memory forever.
+const maxFreeEvents = 4096
+
+// recycle returns a dispatched event to the freelist, dropping the closure
+// reference so the GC can collect captured state.
+func (s *Sim) recycle(e *event) {
+	e.fn = nil
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, e)
+	}
 }
 
 // After schedules fn to run in scheduler context d from now. fn must not
@@ -250,7 +274,9 @@ func (s *Sim) RunUntil(horizon time.Duration) time.Duration {
 		e := heap.Pop(&s.events).(*event)
 		s.now = e.at
 		s.eventsRun++
-		e.fn()
+		fn := e.fn
+		s.recycle(e) // safe: e is unreferenced once popped, fn saved locally
+		fn()
 	}
 	return s.now
 }

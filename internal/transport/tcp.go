@@ -3,11 +3,13 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 
+	"cxfs/internal/obs"
 	"cxfs/internal/wire"
 )
 
@@ -19,11 +21,18 @@ import (
 // the codec round-trips over real connections with partial reads, large
 // batches, and concurrent senders.
 
+// ErrCorruptFrame marks a frame the peer sent that cannot be decoded — a
+// length prefix over the limit or a body the codec rejects. It is
+// distinguishable (errors.Is) from a clean EOF or a mid-frame disconnect so
+// callers can attribute why a connection was dropped.
+var ErrCorruptFrame = errors.New("transport: corrupt frame")
+
 // MsgConn frames wire messages over a byte stream. Safe for one concurrent
 // reader and one concurrent writer; WriteMsg serializes multiple writers.
 type MsgConn struct {
 	conn io.ReadWriteCloser
 	r    *bufio.Reader
+	rbuf []byte // frame body scratch, reused across ReadMsg calls
 	wmu  sync.Mutex
 	w    *bufio.Writer
 }
@@ -33,22 +42,42 @@ func NewMsgConn(c io.ReadWriteCloser) *MsgConn {
 	return &MsgConn{conn: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
 }
 
-// WriteMsg encodes and sends one message, flushing the frame.
+// WriteMsg encodes and sends one message, flushing the frame. Encoding uses
+// a pooled buffer, so the steady-state send path does not allocate; a
+// message over the codec's wire limits is rejected here before any bytes
+// reach the stream.
 func (mc *MsgConn) WriteMsg(m *wire.Msg) error {
-	buf := wire.Encode(m)
-	mc.wmu.Lock()
-	defer mc.wmu.Unlock()
-	if _, err := mc.w.Write(buf); err != nil {
-		return fmt.Errorf("transport: write: %w", err)
+	fb := wire.GetBuffer()
+	buf, err := wire.EncodeTo(fb.B, m)
+	if err != nil {
+		wire.PutBuffer(fb)
+		return fmt.Errorf("transport: encode: %w", err)
 	}
-	return mc.w.Flush()
+	fb.B = buf
+	mc.wmu.Lock()
+	_, werr := mc.w.Write(buf)
+	if werr == nil {
+		werr = mc.w.Flush()
+	}
+	mc.wmu.Unlock()
+	wire.PutBuffer(fb)
+	if werr != nil {
+		return fmt.Errorf("transport: write: %w", werr)
+	}
+	return nil
 }
 
 // maxFrame bounds a frame so a corrupt length prefix cannot allocate
 // unboundedly (CE migrations are the largest legitimate payloads).
 const maxFrame = 16 << 20
 
-// ReadMsg reads and decodes one message.
+// ReadMsg reads and decodes one message. A clean connection shutdown
+// surfaces as io.EOF; an undecodable frame wraps ErrCorruptFrame; anything
+// else is an I/O failure (peer vanished mid-frame, socket error).
+//
+// The frame body is read into a buffer owned by the connection and reused
+// across calls — safe because wire.DecodeBody copies all variable-length
+// data out of its input.
 func (mc *MsgConn) ReadMsg() (wire.Msg, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(mc.r, hdr[:]); err != nil {
@@ -56,13 +85,20 @@ func (mc *MsgConn) ReadMsg() (wire.Msg, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return wire.Msg{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return wire.Msg{}, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCorruptFrame, n)
 	}
-	buf := make([]byte, n)
+	if uint32(cap(mc.rbuf)) < n {
+		mc.rbuf = make([]byte, n)
+	}
+	buf := mc.rbuf[:n]
 	if _, err := io.ReadFull(mc.r, buf); err != nil {
 		return wire.Msg{}, fmt.Errorf("transport: short frame: %w", err)
 	}
-	return wire.DecodeBody(buf)
+	m, err := wire.DecodeBody(buf)
+	if err != nil {
+		return wire.Msg{}, fmt.Errorf("%w: %v", ErrCorruptFrame, err)
+	}
+	return m, nil
 }
 
 // Close closes the underlying stream.
@@ -78,6 +114,7 @@ type MsgHandler func(m wire.Msg) *wire.Msg
 type MsgServer struct {
 	ln      net.Listener
 	handler MsgHandler
+	nc      *obs.NetCounters // nil = disabled
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
@@ -87,11 +124,18 @@ type MsgServer struct {
 
 // ListenMsg starts a message server on addr (e.g. "127.0.0.1:0").
 func ListenMsg(addr string, h MsgHandler) (*MsgServer, error) {
+	return ListenMsgObs(addr, h, nil)
+}
+
+// ListenMsgObs is ListenMsg with connection-level counters: accepted
+// connections and, per close, whether the peer finished cleanly, sent a
+// corrupt frame, or vanished mid-stream.
+func ListenMsgObs(addr string, h MsgHandler, nc *obs.NetCounters) (*MsgServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	s := &MsgServer{ln: ln, handler: h, conns: make(map[*MsgConn]struct{})}
+	s := &MsgServer{ln: ln, handler: h, nc: nc, conns: make(map[*MsgConn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -108,6 +152,7 @@ func (s *MsgServer) acceptLoop() {
 			return // listener closed
 		}
 		mc := NewMsgConn(c)
+		s.nc.ConnAccepted()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -132,10 +177,25 @@ func (s *MsgServer) serve(mc *MsgConn) {
 	for {
 		m, err := mc.ReadMsg()
 		if err != nil {
+			// Attribute the close: a clean EOF is the peer hanging up
+			// between frames; a corrupt frame is a protocol violation worth
+			// alerting on; everything else is the peer (or our own Close)
+			// tearing the socket down mid-stream.
+			switch {
+			case err == io.EOF:
+				s.nc.CleanClose()
+			case errors.Is(err, ErrCorruptFrame):
+				s.nc.CorruptFrame()
+			case errors.Is(err, net.ErrClosed):
+				// our own Close() tore the socket down; not the peer's fault
+			default:
+				s.nc.AbruptClose()
+			}
 			return
 		}
 		if reply := s.handler(m); reply != nil {
 			if err := mc.WriteMsg(reply); err != nil {
+				s.nc.WriteError()
 				return
 			}
 		}

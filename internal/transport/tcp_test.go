@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"cxfs/internal/obs"
 	"cxfs/internal/types"
 	"cxfs/internal/wire"
 )
@@ -226,4 +228,103 @@ func TestMsgServerCloseLeaksNoGoroutines(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}
+
+// TestWriteMsgRejectsOverlimitMessage proves the encode-limit bugfix is
+// threaded through the transport: a message the codec cannot frame is
+// rejected by WriteMsg before any bytes hit the stream.
+func TestWriteMsgRejectsOverlimitMessage(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	mc := NewMsgConn(a)
+	long := make([]byte, wire.MaxString+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	m := wire.Msg{Type: wire.MsgSubOpReq, Sub: types.SubOp{Name: string(long)}}
+	errc := make(chan error, 1)
+	go func() { errc <- mc.WriteMsg(&m) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("WriteMsg accepted a message over the wire limits")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WriteMsg blocked on the pipe instead of failing the encode")
+	}
+}
+
+// TestServeCountsCloseReasons drives three clients into a counted server:
+// one hangs up cleanly, one sends a corrupt frame, one vanishes mid-frame.
+// Each must land in its own counter.
+func TestServeCountsCloseReasons(t *testing.T) {
+	var nc obs.NetCounters
+	srv, err := ListenMsgObs("127.0.0.1:0", func(m wire.Msg) *wire.Msg { return nil }, &nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dialRaw := func() net.Conn {
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	wait := func(get func(obs.NetSnapshot) uint64, what string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for get(nc.Snapshot()) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; snapshot %+v", what, nc.Snapshot())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Clean close: a valid frame, then an orderly shutdown.
+	clean, err := DialMsg(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.WriteMsg(&wire.Msg{Type: wire.MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	clean.Close()
+	wait(func(s obs.NetSnapshot) uint64 { return s.CleanCloses }, "clean close")
+
+	// Corrupt frame: plausible length, garbage body.
+	corrupt := dialRaw()
+	corrupt.Write([]byte{4, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	wait(func(s obs.NetSnapshot) uint64 { return s.CorruptFrames }, "corrupt frame")
+	corrupt.Close()
+
+	// Abrupt close: header promises 100 bytes, connection dies after 2.
+	abrupt := dialRaw()
+	abrupt.Write([]byte{100, 0, 0, 0, 1, 2})
+	abrupt.Close()
+	wait(func(s obs.NetSnapshot) uint64 { return s.AbruptCloses }, "abrupt close")
+
+	snap := nc.Snapshot()
+	if snap.Accepted < 3 {
+		t.Errorf("accepted %d connections, want >= 3", snap.Accepted)
+	}
+	if snap.CleanCloses != 1 || snap.CorruptFrames != 1 || snap.AbruptCloses != 1 {
+		t.Errorf("close attribution wrong: %+v", snap)
+	}
+}
+
+// TestOversizedFrameIsCorrupt checks the 16MiB frame bound surfaces as a
+// corrupt-frame error, not a generic one, so serve attributes it correctly.
+func TestOversizedFrameIsCorrupt(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	mc := NewMsgConn(b)
+	defer mc.Close()
+	go a.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	_, err := mc.ReadMsg()
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("oversized frame error = %v, want ErrCorruptFrame", err)
+	}
 }

@@ -62,6 +62,10 @@ type Stats struct {
 	// DroppedUnroutable counts messages addressed to a node that was never
 	// registered — a stale route, not a fatal simulation error.
 	DroppedUnroutable uint64
+	// DroppedInvalid counts messages that violate the wire limits
+	// (wire.Validate) — a real NIC could not frame them, so the simulated
+	// one refuses too rather than deliver something unencodable.
+	DroppedInvalid uint64
 	// DroppedFault counts messages lost to an injected link drop fault.
 	DroppedFault uint64
 	// DroppedPartition counts messages lost to a directed partition.
@@ -83,6 +87,7 @@ func (s Stats) Sub(earlier Stats) Stats {
 		Bytes:             s.Bytes - earlier.Bytes,
 		DroppedDown:       s.DroppedDown - earlier.DroppedDown,
 		DroppedUnroutable: s.DroppedUnroutable - earlier.DroppedUnroutable,
+		DroppedInvalid:    s.DroppedInvalid - earlier.DroppedInvalid,
 		DroppedFault:      s.DroppedFault - earlier.DroppedFault,
 		DroppedPartition:  s.DroppedPartition - earlier.DroppedPartition,
 		Duplicated:        s.Duplicated - earlier.Duplicated,
@@ -224,6 +229,13 @@ func (n *Net) faultsFor(from, to types.NodeID) Faults {
 // from inside the simulation. The sender's Proc is not blocked (the NIC
 // DMA's asynchronously); the CPU overhead is charged as added latency.
 func (n *Net) Send(msg wire.Msg) {
+	if err := wire.Validate(&msg); err != nil {
+		// The message could not be framed on a real wire (name or batch over
+		// the u16 limits). Dropping it here keeps the simulation honest with
+		// the codec instead of delivering an unencodable message.
+		n.stats.DroppedInvalid++
+		return
+	}
 	box, ok := n.boxes[msg.To]
 	if !ok {
 		// A stale route (e.g. a retry addressed to a node that never came

@@ -238,3 +238,40 @@ func TestBigMessagePaysTransferTime(t *testing.T) {
 		t.Errorf("10MB message (%v) not slower than small (%v)", big, small)
 	}
 }
+
+// TestSendDropsUnencodableMessage proves the sim network enforces the same
+// wire limits the codec does: a message a real NIC could not frame is
+// counted in DroppedInvalid and never delivered.
+func TestSendDropsUnencodableMessage(t *testing.T) {
+	s := simrt.New(1)
+	n := New(s, DefaultParams())
+	box := n.Register(1)
+	n.Register(0)
+	delivered := 0
+	s.Spawn("recv", func(p *simrt.Proc) {
+		for {
+			box.Recv(p)
+			delivered++
+		}
+	})
+	s.Spawn("send", func(p *simrt.Proc) {
+		bad := wire.Msg{Type: wire.MsgVote, From: 0, To: 1,
+			Ops: make([]types.OpID, wire.MaxBatch+1)}
+		n.Send(bad)
+		n.Send(wire.Msg{Type: wire.MsgPing, From: 0, To: 1})
+		p.Sleep(time.Second)
+		s.Stop()
+	})
+	s.Run()
+	s.Shutdown()
+	st := n.Stats()
+	if st.DroppedInvalid != 1 {
+		t.Errorf("DroppedInvalid = %d, want 1", st.DroppedInvalid)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered %d messages, want only the valid ping", delivered)
+	}
+	if st.Messages != 1 {
+		t.Errorf("Messages = %d; invalid sends must not be counted as traffic", st.Messages)
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"cxfs/internal/types"
 )
@@ -10,13 +11,75 @@ import (
 // Frame format (little endian):
 //
 //	u32 payload length
-//	payload: tagged fields as laid out by encodeBody
+//	payload: tagged fields as laid out by appendBody
 //
 // The codec is total over the Msg struct: it encodes every field that can
-// be non-zero for the message's type, and Size(m) == len(Encode(m)).
-// Decode(Encode(m)) == m for all valid messages (tested with
-// testing/quick). The simulated network charges transfer time using Size;
-// the TCP transport writes these exact bytes.
+// be non-zero for the message's type, and Size(m) == len(Encode(m)) for
+// every message that passes Validate. Decode(Encode(m)) == m for all valid
+// messages (tested with testing/quick). The simulated network charges
+// transfer time using Size; the TCP transport writes these exact bytes.
+//
+// Strings carry a u16 length prefix and batches a u16 count, so a name of
+// 64KiB or a batch of 65536 entries cannot be represented. Validate (run
+// by Encode and EncodeTo) rejects such messages instead of silently
+// wrapping the prefix around.
+
+// Codec limits implied by the u16 length/count prefixes.
+const (
+	// MaxString bounds every length-prefixed string field (names, row
+	// keys, error text).
+	MaxString = 1<<16 - 1
+	// MaxBatch bounds every batched repeated field (Ops, Enforce, Votes,
+	// Decisions, Rows, Keys).
+	MaxBatch = 1<<16 - 1
+)
+
+// Validate reports whether m fits the codec's length prefixes. Encode and
+// EncodeTo call it; protocol layers can call it early to reject oversized
+// requests at the edge instead of at serialization time.
+func Validate(m *Msg) error {
+	if len(m.Sub.Name) > MaxString {
+		return fmt.Errorf("wire: sub-op name of %d bytes exceeds %d", len(m.Sub.Name), MaxString)
+	}
+	if len(m.FullOp.Name) > MaxString {
+		return fmt.Errorf("wire: op name of %d bytes exceeds %d", len(m.FullOp.Name), MaxString)
+	}
+	if len(m.FullOp.NewName) > MaxString {
+		return fmt.Errorf("wire: op new-name of %d bytes exceeds %d", len(m.FullOp.NewName), MaxString)
+	}
+	if len(m.Err) > MaxString {
+		return fmt.Errorf("wire: error text of %d bytes exceeds %d", len(m.Err), MaxString)
+	}
+	if len(m.Ops) > MaxBatch {
+		return fmt.Errorf("wire: %d ops exceed batch limit %d", len(m.Ops), MaxBatch)
+	}
+	if len(m.Enforce) > MaxBatch {
+		return fmt.Errorf("wire: %d enforce entries exceed batch limit %d", len(m.Enforce), MaxBatch)
+	}
+	if len(m.Votes) > MaxBatch {
+		return fmt.Errorf("wire: %d votes exceed batch limit %d", len(m.Votes), MaxBatch)
+	}
+	if len(m.Decisions) > MaxBatch {
+		return fmt.Errorf("wire: %d decisions exceed batch limit %d", len(m.Decisions), MaxBatch)
+	}
+	if len(m.Rows) > MaxBatch {
+		return fmt.Errorf("wire: %d rows exceed batch limit %d", len(m.Rows), MaxBatch)
+	}
+	if len(m.Keys) > MaxBatch {
+		return fmt.Errorf("wire: %d keys exceed batch limit %d", len(m.Keys), MaxBatch)
+	}
+	for i := range m.Rows {
+		if len(m.Rows[i].Key) > MaxString {
+			return fmt.Errorf("wire: row key of %d bytes exceeds %d", len(m.Rows[i].Key), MaxString)
+		}
+	}
+	for i := range m.Keys {
+		if len(m.Keys[i]) > MaxString {
+			return fmt.Errorf("wire: key of %d bytes exceeds %d", len(m.Keys[i]), MaxString)
+		}
+	}
+	return nil
+}
 
 type encoder struct{ b []byte }
 
@@ -77,6 +140,11 @@ func (e *encoder) inode(in types.Inode) {
 	e.u64(in.Mtime)
 }
 
+// zeroField backs the error-path reads of a failed decoder: once the first
+// field fails, every later fixed-width read returns a view of this shared
+// zero buffer instead of allocating. Callers only ever read from it.
+var zeroField [8]byte
+
 type decoder struct {
 	b   []byte
 	pos int
@@ -89,20 +157,32 @@ func (d *decoder) fail(what string) {
 	}
 }
 func (d *decoder) take(n int) []byte {
-	if d.err != nil || d.pos+n > len(d.b) {
-		d.fail("field")
-		return make([]byte, n)
+	if d.err == nil && d.pos+n <= len(d.b) {
+		v := d.b[d.pos : d.pos+n]
+		d.pos += n
+		return v
 	}
-	v := d.b[d.pos : d.pos+n]
-	d.pos += n
-	return v
+	d.fail("field")
+	if n <= len(zeroField) {
+		return zeroField[:n]
+	}
+	return nil
 }
 func (d *decoder) u8() uint8     { return d.take(1)[0] }
 func (d *decoder) boolean() bool { return d.u8() != 0 }
 func (d *decoder) u16() uint16   { return binary.LittleEndian.Uint16(d.take(2)) }
 func (d *decoder) u32() uint32   { return binary.LittleEndian.Uint32(d.take(4)) }
 func (d *decoder) u64() uint64   { return binary.LittleEndian.Uint64(d.take(8)) }
-func (d *decoder) str() string   { n := int(d.u16()); return string(d.take(n)) }
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil || d.pos+n > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
 func (d *decoder) bytes() []byte {
 	n := int(d.u32())
 	if d.err != nil || d.pos+n > len(d.b) {
@@ -114,6 +194,23 @@ func (d *decoder) bytes() []byte {
 	d.pos += n
 	return v
 }
+
+// count reads a batch count and sanity-checks it against the bytes left:
+// each element encodes to at least elemMin bytes, so a count that cannot
+// fit is a corrupt frame. Failing here keeps a flipped count byte from
+// allocating a 65535-element slice before the per-element reads fail.
+func (d *decoder) count(elemMin int) int {
+	n := int(d.u16())
+	if d.err != nil {
+		return 0
+	}
+	if n*elemMin > len(d.b)-d.pos {
+		d.fail("batch count")
+		return 0
+	}
+	return n
+}
+
 func (d *decoder) opID() types.OpID {
 	var id types.OpID
 	id.Proc.Client = types.NodeID(d.u32())
@@ -162,9 +259,10 @@ func (d *decoder) inode() types.Inode {
 	return in
 }
 
-// Encode serializes m with its length frame.
-func Encode(m *Msg) []byte {
-	e := encoder{b: make([]byte, 4, 64)}
+// appendMsg appends m's framed encoding to buf. Callers have validated m.
+func appendMsg(buf []byte, m *Msg) []byte {
+	start := len(buf)
+	e := encoder{b: append(buf, 0, 0, 0, 0)}
 	e.u8(uint8(m.Type))
 	e.u32(uint32(m.From))
 	e.u32(uint32(m.To))
@@ -205,8 +303,50 @@ func Encode(m *Msg) []byte {
 	for _, k := range m.Keys {
 		e.str(k)
 	}
-	binary.LittleEndian.PutUint32(e.b[0:4], uint32(len(e.b)-4))
+	binary.LittleEndian.PutUint32(e.b[start:start+4], uint32(len(e.b)-start-4))
 	return e.b
+}
+
+// Encode serializes m with its length frame into a fresh buffer. It fails
+// if any string or batch field exceeds the codec's u16 prefixes.
+func Encode(m *Msg) ([]byte, error) {
+	if err := Validate(m); err != nil {
+		return nil, err
+	}
+	return appendMsg(make([]byte, 0, Size(m)), m), nil
+}
+
+// EncodeTo appends m's framed encoding to buf and returns the extended
+// slice, allocating only if buf lacks capacity. Combined with the Buffer
+// pool this makes the send path allocation-free in steady state.
+func EncodeTo(buf []byte, m *Msg) ([]byte, error) {
+	if err := Validate(m); err != nil {
+		return buf, err
+	}
+	return appendMsg(buf, m), nil
+}
+
+// Buffer is a pooled frame-encoding scratch buffer.
+type Buffer struct{ B []byte }
+
+// bufferPool recycles frame buffers across WriteMsg calls; 512 bytes covers
+// the common single-op messages without a regrow.
+var bufferPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 512)} }}
+
+// GetBuffer takes a scratch buffer from the pool (length 0).
+func GetBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuffer returns a buffer to the pool. Oversized buffers (a huge CE
+// migration frame) are dropped instead of pinning their backing arrays.
+func PutBuffer(b *Buffer) {
+	if cap(b.B) > 1<<20 {
+		return
+	}
+	bufferPool.Put(b)
 }
 
 // Decode parses one framed message.
@@ -222,7 +362,9 @@ func Decode(buf []byte) (Msg, error) {
 
 // DecodeBody parses a message payload without its 4-byte length frame.
 // Stream transports that have already consumed the frame header decode
-// the payload in place instead of re-assembling the full frame.
+// the payload in place instead of re-assembling the full frame. The
+// returned Msg shares no memory with body: strings and byte fields are
+// copied out, so callers may reuse the buffer for the next frame.
 func DecodeBody(body []byte) (Msg, error) {
 	var m Msg
 	d := decoder{b: body}
@@ -239,40 +381,40 @@ func DecodeBody(body []byte) (Msg, error) {
 	m.Hint = d.opID()
 	m.Epoch = d.u32()
 	m.Attr = d.inode()
-	if n := int(d.u16()); n > 0 {
+	if n := d.count(16); n > 0 {
 		m.Ops = make([]types.OpID, n)
 		for i := range m.Ops {
 			m.Ops[i] = d.opID()
 		}
 	}
-	if n := int(d.u16()); n > 0 {
+	if n := d.count(16); n > 0 {
 		m.Enforce = make([]types.OpID, n)
 		for i := range m.Enforce {
 			m.Enforce[i] = d.opID()
 		}
 	}
-	if n := int(d.u16()); n > 0 {
+	if n := d.count(17); n > 0 {
 		m.Votes = make([]Vote, n)
 		for i := range m.Votes {
 			m.Votes[i].Op = d.opID()
 			m.Votes[i].OK = d.boolean()
 		}
 	}
-	if n := int(d.u16()); n > 0 {
+	if n := d.count(17); n > 0 {
 		m.Decisions = make([]Decision, n)
 		for i := range m.Decisions {
 			m.Decisions[i].Op = d.opID()
 			m.Decisions[i].Commit = d.boolean()
 		}
 	}
-	if n := int(d.u16()); n > 0 {
+	if n := d.count(6); n > 0 { // min row: empty key (2) + empty val (4)
 		m.Rows = make([]Row, n)
 		for i := range m.Rows {
 			m.Rows[i].Key = d.str()
 			m.Rows[i].Val = d.bytes()
 		}
 	}
-	if n := int(d.u16()); n > 0 {
+	if n := d.count(2); n > 0 { // min key: empty string (2)
 		m.Keys = make([]string, n)
 		for i := range m.Keys {
 			m.Keys[i] = d.str()
