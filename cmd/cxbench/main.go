@@ -51,7 +51,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|metarates|latency|triggers|chaos|replay|all)")
+		exp      = flag.String("exp", "all", "experiment id (table2|table4|table5|fig4|fig5|fig6|fig7a|fig7b|fig8|fig9a|fig9b|protocols|metarates|statstorm|latency|triggers|chaos|replay|all)")
 		scale    = flag.Float64("scale", 0.004, "fraction of each paper trace's op count to replay")
 		servers  = flag.Int("servers", 8, "metadata servers for trace-driven experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -65,6 +65,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "metarates/replay: also write the rows as JSON to this file")
 		workload = flag.String("workload", "s3d", "replay: trace profile to bench")
 		seeds    = flag.String("seeds", "", "replay: comma-separated seed matrix (default the fixed trajectory matrix)")
+		minratio = flag.Float64("minratio", 0, "statstorm: fail unless the cache's message reduction is at least this factor (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 	ccfg := chaos.Config{Seed: *seed, Duration: *duration, FaultRate: *fltRate,
 		Pipeline: *pipeline, GroupLinger: *linger}
 	bo := benchOpts{pipeline: *pipeline, linger: *linger, adaptive: *adaptive, jsonOut: *jsonOut,
-		workload: *workload}
+		workload: *workload, minRatio: *minratio}
 	if *seeds != "" {
 		for _, s := range strings.Split(*seeds, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
@@ -90,7 +91,7 @@ func main() {
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "metarates", "latency", "triggers"}
+		ids = []string{"table2", "table4", "table5", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "protocols", "metarates", "statstorm", "latency", "triggers"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -121,6 +122,7 @@ type benchOpts struct {
 	jsonOut  string
 	workload string
 	seeds    []int64
+	minRatio float64
 }
 
 func run(id string, cfg harness.Config, ccfg chaos.Config, bo benchOpts) error {
@@ -199,6 +201,13 @@ func run(id string, cfg harness.Config, ccfg chaos.Config, bo benchOpts) error {
 	case "triggers":
 		_, tbl := harness.Triggers(cfg)
 		fmt.Println(tbl)
+	case "statstorm":
+		_, tbl, worst := harness.StatStorm(cfg)
+		fmt.Println(tbl)
+		fmt.Printf("statstorm: worst cache message reduction %.1fx\n", worst)
+		if bo.minRatio > 0 && worst < bo.minRatio {
+			return fmt.Errorf("statstorm: cache reduction %.1fx below the -minratio gate %.1fx", worst, bo.minRatio)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

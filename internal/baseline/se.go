@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"cxfs/internal/core"
 	"cxfs/internal/namespace"
 	"cxfs/internal/node"
 	"cxfs/internal/simrt"
@@ -37,6 +38,13 @@ type SEServer struct {
 
 	// guard suppresses duplicate (retried) mutating requests.
 	guard *dupGuard
+
+	// Leased read path (optional; mirrors core's so the stat-storm
+	// experiment can compare cache on/off across protocols).
+	leases       *core.LeaseTable
+	leaseTTL     time.Duration
+	leaseGrants  uint64
+	leaseRevokes uint64
 }
 
 type localFlush struct {
@@ -56,8 +64,14 @@ func NewSEServer(base *node.Base, pl namespace.Placement, batched bool, flushTim
 		Base: base, pl: pl, batched: batched, flushT: flushTimeout,
 		pendingUndo: make(map[types.OpID]*namespace.Undo),
 		guard:       newDupGuard(),
+		leases:      core.NewLeaseTable(4096),
 	}
 }
+
+// SetLeaseTTL enables the leased read path: lookup replies carry a lease of
+// this duration and mutations revoke. 0 (the default) answers lookups
+// without a lease.
+func (s *SEServer) SetLeaseTTL(ttl time.Duration) { s.leaseTTL = ttl }
 
 // Start launches the inbox loop plus the write-back daemon: the batched
 // flush daemon in OFS-batched mode, or the database checkpointer in plain
@@ -108,6 +122,57 @@ func (s *SEServer) handle(p *simrt.Proc, m wire.Msg) {
 		s.handleLocalOp(p, m)
 	case wire.MsgClear:
 		s.handleClear(p, m)
+	case wire.MsgLookupReq:
+		s.handleLookup(p, m)
+	}
+}
+
+// handleLookup serves the leased read path. SE executes serially and
+// persists before replying, so resolving straight from the shard is safe;
+// there is no active-object table to park behind.
+func (s *SEServer) handleLookup(p *simrt.Proc, m wire.Msg) {
+	s.ExecCPU(p)
+	if s.Crashed() {
+		return
+	}
+	in, found := s.Shard.ResolveEntry(m.Dir, m.Path)
+	reply := wire.Msg{Type: wire.MsgLookupResp, To: m.From, Op: m.Op,
+		OK: found, Dir: m.Dir, Path: m.Path, Attr: in}
+	if !found {
+		reply.Err = types.ErrNotFound.Error()
+	}
+	if s.leaseTTL > 0 {
+		reply.LeaseEpoch = s.Boot() + 1
+		reply.LeaseTTL = s.leaseTTL
+		s.leases.Grant(m.Dir, m.Path, m.From, s.Sim.Now(), s.leaseTTL)
+		s.leaseGrants++
+	}
+	s.Send(reply)
+}
+
+// revokeLeases notifies lease holders that (dir, name) is changing.
+func (s *SEServer) revokeLeases(dir types.InodeID, name string, op types.OpID) {
+	for _, h := range s.leases.Revoke(dir, name) {
+		s.Send(wire.Msg{Type: wire.MsgConflictNotify, To: h, Op: op,
+			Dir: dir, Path: name, LeaseEpoch: s.Boot() + 1})
+		s.leaseRevokes++
+	}
+}
+
+// LeasesOutstanding reports unexpired leased entries on this server.
+func (s *SEServer) LeasesOutstanding() int { return s.leases.Outstanding(s.Sim.Now()) }
+
+// LeaseStats returns cumulative grant and revocation counts.
+func (s *SEServer) LeaseStats() (granted, revoked uint64) {
+	return s.leaseGrants, s.leaseRevokes
+}
+
+// maybeRevoke fires the lease revocation when an executed sub-op mutated a
+// directory entry.
+func (s *SEServer) maybeRevoke(sub types.SubOp) {
+	switch sub.Action {
+	case types.ActInsertEntry, types.ActRemoveEntry:
+		s.revokeLeases(sub.Parent, sub.Name, sub.Op)
 	}
 }
 
@@ -144,6 +209,7 @@ func (s *SEServer) handleSubOp(p *simrt.Proc, m wire.Msg) {
 	s.ExecCPU(p)
 	res := s.Shard.Exec(sub, s.NowNanos())
 	if res.OK && mutating {
+		s.maybeRevoke(sub)
 		s.persist(p, sub.Op, sub, res)
 		if s.CrashPoint("se:after-persist", sub.Op) {
 			return
@@ -227,6 +293,7 @@ func (s *SEServer) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 			s.Send(reply)
 			return
 		}
+		s.maybeRevoke(cSub)
 		s.persist(p, op.ID, pSub, resP)
 		if s.Crashed() {
 			return
@@ -240,6 +307,7 @@ func (s *SEServer) handleLocalOp(p *simrt.Proc, m wire.Msg) {
 			reply.Err = res.Err.Error()
 		}
 		if res.OK && sub.Action.Mutating() {
+			s.maybeRevoke(sub)
 			s.persist(p, op.ID, sub, res)
 		}
 	}
@@ -258,6 +326,7 @@ type SEDriver struct {
 	host  *node.Host
 	pl    namespace.Placement
 	retry types.RetryPolicy
+	cache *core.Cache
 	observed
 }
 
@@ -269,12 +338,71 @@ func NewSEDriver(host *node.Host, pl namespace.Placement) *SEDriver {
 // SetRetry installs the per-RPC timeout/retry policy (zero = block forever).
 func (d *SEDriver) SetRetry(rp types.RetryPolicy) { d.retry = rp }
 
+// SetCache attaches a leased metadata cache (shared Cache implementation
+// from core) and installs the host's revocation hook.
+func (d *SEDriver) SetCache(c *core.Cache) {
+	d.cache = c
+	if c == nil {
+		return
+	}
+	d.host.SetNotify(func(m wire.Msg) bool {
+		if m.Type == wire.MsgConflictNotify && m.Path != "" {
+			c.Revoke(m.Dir, m.Path, m.From, m.LeaseEpoch)
+			return true
+		}
+		return false
+	})
+}
+
+// FlushCache drops every cached entry.
+func (d *SEDriver) FlushCache() {
+	if d.cache != nil {
+		d.cache.Flush()
+	}
+}
+
+// doLookup serves a lookup from the cache under lease, or round-trips a
+// LookupReq and installs the granted lease.
+func (d *SEDriver) doLookup(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	if attr, found, _, ok := d.cache.Get(d.host.Sim.Now(), op.Parent, op.Name); ok {
+		if !found {
+			return types.Inode{}, types.ErrNotFound
+		}
+		return attr, nil
+	}
+	route := d.host.Open(op.ID)
+	defer d.host.Done(op.ID)
+	issued := d.host.Sim.Now()
+	m, ok := rpcCall(p, d.host, d.retry, route, wire.Msg{Type: wire.MsgLookupReq,
+		To: d.pl.CoordinatorFor(op.Parent, op.Name), Op: op.ID,
+		Dir: op.Parent, Path: op.Name, ReplyProc: op.ID.Proc})
+	if !ok {
+		return types.Inode{}, types.ErrTimeout
+	}
+	d.cache.Put(issued, d.host.Sim.Now(), m)
+	if m.OK {
+		return m.Attr, nil
+	}
+	return types.Inode{}, errString(m.Err)
+}
+
 // Do executes one metadata operation serially.
 func (d *SEDriver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	return d.record(d.host, op, func() (types.Inode, error) { return d.do(p, op) })
 }
 
 func (d *SEDriver) do(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	if d.cache != nil {
+		if op.Kind == types.OpLookup {
+			return d.doLookup(p, op)
+		}
+		if op.Kind.Mutating() {
+			d.cache.Invalidate(op.Parent, op.Name)
+			if op.Kind == types.OpRename {
+				d.cache.Invalidate(op.NewParent, op.NewName)
+			}
+		}
+	}
 	if !op.Kind.CrossServer() {
 		return singleServerOp(p, d.host, d.pl, d.retry, op)
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cxfs/internal/cluster"
+	"cxfs/internal/core"
 	"cxfs/internal/model"
 	"cxfs/internal/simrt"
 	"cxfs/internal/transport"
@@ -49,6 +50,16 @@ type Config struct {
 	// GroupLinger > 0 enables cross-proc WAL group commit on every server
 	// (see cluster.Options.GroupLinger).
 	GroupLinger time.Duration
+	// CacheTTL > 0 enables the leased client metadata cache on every driver
+	// (see cluster.Options.CacheTTL). Every lookup in the history is then
+	// stamped with its cache disposition and lease grant time, and the
+	// staleness-bound oracle (model.CheckStalenessBound) becomes meaningful.
+	CacheTTL time.Duration
+	// StatStorm switches every worker to the read-dominant stat-storm mix:
+	// a trickle of creates/removes under a storm of own-name and cross-worker
+	// lookups, while the nemesis preferentially kills the server holding the
+	// most leases. Implies the one-op-at-a-time loop (Pipeline is ignored).
+	StatStorm bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +130,14 @@ type Report struct {
 	// the group-commit win.
 	WALAppends      uint64
 	WALGroupFlushes uint64
+
+	// Leased-cache activity (all zero when CacheTTL is 0): client cache
+	// hits/misses summed over every driver, and lease grants/revocations
+	// summed over every server.
+	CacheHits        uint64
+	CacheMisses      uint64
+	LeaseGrants      uint64
+	LeaseRevocations uint64
 }
 
 // Consistent reports whether the run completed with no violations.
@@ -144,6 +163,8 @@ func (r *Report) String() string {
 		r.Net.DroppedDown, r.Net.Duplicated, r.Net.Delayed)
 	fmt.Fprintf(&b, "  history: ops=%d hash=%016x wal-appends=%d group-flushes=%d\n",
 		len(r.History), model.HistoryHash(r.History), r.WALAppends, r.WALGroupFlushes)
+	fmt.Fprintf(&b, "  cache: hits=%d misses=%d lease-grants=%d lease-revocations=%d\n",
+		r.CacheHits, r.CacheMisses, r.LeaseGrants, r.LeaseRevocations)
 	fmt.Fprintf(&b, "  schedule (%d events):\n", len(r.Schedule))
 	for _, e := range r.Schedule {
 		fmt.Fprintf(&b, "    %9v %s\n", e.At, e.What)
@@ -203,7 +224,17 @@ func Run(cfg Config) *Report {
 	// wedges a worker forever and the run can never drain.
 	opts.Retry = types.RetryPolicy{Timeout: 50 * time.Millisecond, Attempts: 6}
 	opts.GroupLinger = cfg.GroupLinger
+	opts.CacheTTL = cfg.CacheTTL
 	c := cluster.MustNew(opts)
+	if cfg.CacheTTL > 0 && cfg.Pipeline > 1 {
+		// Pipelined lookups need the per-op disposition log; the serial
+		// workers read LastLookup immediately after each call instead.
+		for w := 0; w < cfg.Workers; w++ {
+			if d, ok := c.Proc(w).Driver().(*core.Driver); ok {
+				d.TrackLookups()
+			}
+		}
+	}
 
 	h := &harness{
 		cfg: cfg, c: c, rep: rep,
@@ -223,7 +254,10 @@ func Run(cfg Config) *Report {
 	h.group.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		body := h.worker(w)
-		if cfg.Pipeline > 1 {
+		switch {
+		case cfg.StatStorm:
+			body = h.stormWorker(w)
+		case cfg.Pipeline > 1:
 			body = h.pipelinedWorker(w)
 		}
 		c.Sim.Spawn(fmt.Sprintf("chaos/worker%d", w), body)
@@ -271,6 +305,9 @@ func Run(cfg Config) *Report {
 		rep.WALAppends += ws.Appends
 		rep.WALGroupFlushes += ws.GroupFlushes
 	}
+	cs := c.CacheStats()
+	rep.CacheHits, rep.CacheMisses = cs.Hits, cs.Misses
+	rep.LeaseGrants, rep.LeaseRevocations = c.LeaseStats()
 	c.Shutdown()
 	return rep
 }

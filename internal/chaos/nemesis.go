@@ -35,7 +35,13 @@ func (n *nemesis) run(p *simrt.Proc) {
 		}
 		switch n.rng.Intn(10) {
 		case 0, 1:
-			n.crashCycle(p, false)
+			if h.cfg.CacheTTL > 0 {
+				// Leases are live: aim the crash at the server with the most
+				// outstanding grants, killing its lease table mid-grant.
+				n.crashLeaseHolder(p)
+			} else {
+				n.crashCycle(p, false)
+			}
 		case 2, 3:
 			n.crashCycle(p, true)
 		case 4, 5, 6:
@@ -60,15 +66,42 @@ func (n *nemesis) pickServer() int {
 	return free[n.rng.Intn(len(free))]
 }
 
-// crashCycle crashes one server — directly, or by arming a protocol
+// crashLeaseHolder crashes the free server with the most outstanding leases
+// (ties break to the lowest id, deterministically), killing its lease table
+// mid-grant; clients keep serving from leases the dead incarnation stamped.
+// Falls back to a random crash when nobody holds any.
+func (n *nemesis) crashLeaseHolder(p *simrt.Proc) {
+	h := n.h
+	srv, held := -1, 0
+	for i, busy := range h.busy {
+		if busy {
+			continue
+		}
+		if l := h.c.LeasesOutstanding(i); l > held {
+			srv, held = i, l
+		}
+	}
+	if srv < 0 {
+		n.crashCycle(p, false)
+		return
+	}
+	n.cycleOn(p, srv, false, fmt.Sprintf(" holding %d leases", held))
+}
+
+// crashCycle crashes one random server — directly, or by arming a protocol
 // crash-point and waiting for live traffic to trip it — then reboots it and
 // runs §V recovery.
 func (n *nemesis) crashCycle(p *simrt.Proc, viaPoint bool) {
-	h := n.h
 	srv := n.pickServer()
 	if srv < 0 {
 		return
 	}
+	n.cycleOn(p, srv, viaPoint, "")
+}
+
+// cycleOn runs one crash → reboot → recover cycle on server srv.
+func (n *nemesis) cycleOn(p *simrt.Proc, srv int, viaPoint bool, note string) {
+	h := n.h
 	h.busy[srv] = true
 	defer func() { h.busy[srv] = false }()
 	base := h.c.Bases[srv]
@@ -89,7 +122,7 @@ func (n *nemesis) crashCycle(p *simrt.Proc, viaPoint bool) {
 	} else {
 		base.Crash()
 		h.rep.Crashes++
-		h.event(fmt.Sprintf("crash s%d", srv))
+		h.event(fmt.Sprintf("crash s%d%s", srv, note))
 	}
 
 	p.Sleep(time.Duration(5+n.rng.Intn(25)) * time.Millisecond)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"cxfs/internal/core"
 	"cxfs/internal/model"
@@ -33,9 +34,14 @@ const (
 
 // recordOp appends one client observation to the report's history, which
 // the model oracle replays after the run. in matters only for lookups.
-func (h *harness) recordOp(w int, kind types.OpKind, e *entry, err error, in types.Inode) {
+// issued is the virtual time the operation was dispatched; the observation
+// time is now. Lookups served from the client cache additionally carry their
+// lease grant stamp for the staleness-bound oracle.
+func (h *harness) recordOp(w int, kind types.OpKind, e *entry, err error, in types.Inode,
+	issued time.Duration, cached bool, grant time.Duration) {
 	o := model.Op{Worker: w, Kind: kind, Name: e.name, Ino: e.ino,
-		Outcome: model.Classify(err)}
+		Outcome: model.Classify(err),
+		Issued:  issued, At: h.c.Sim.Now(), Cached: cached, Grant: grant}
 	if kind == types.OpLookup && err == nil {
 		o.Found = true
 		o.SawIno = in.Ino
@@ -45,13 +51,13 @@ func (h *harness) recordOp(w int, kind types.OpKind, e *entry, err error, in typ
 
 // foldCreate folds one create/mkdir outcome into the oracle, counters, and
 // history. It reports whether the entry is now live (definitely exists).
-func (h *harness) foldCreate(w int, e *entry, err error) bool {
+func (h *harness) foldCreate(w int, e *entry, err error, issued time.Duration) bool {
 	kind := types.OpCreate
 	if e.dir {
 		kind = types.OpMkdir
 	}
 	h.rep.Ops++
-	h.recordOp(w, kind, e, err, types.Inode{})
+	h.recordOp(w, kind, e, err, types.Inode{}, issued, false, 0)
 	switch {
 	case err == nil:
 		e.state = stExists
@@ -75,13 +81,13 @@ func (h *harness) foldCreate(w int, e *entry, err error) bool {
 
 // foldRemove folds one remove/rmdir outcome. It reports whether the entry
 // survives (a definite abort leaves it in the namespace).
-func (h *harness) foldRemove(w int, e *entry, err error) bool {
+func (h *harness) foldRemove(w int, e *entry, err error, issued time.Duration) bool {
 	kind := types.OpRemove
 	if e.dir {
 		kind = types.OpRmdir
 	}
 	h.rep.Ops++
-	h.recordOp(w, kind, e, err, types.Inode{})
+	h.recordOp(w, kind, e, err, types.Inode{}, issued, false, 0)
 	switch {
 	case err == nil:
 		e.state = stAbsent
@@ -104,9 +110,12 @@ func (h *harness) foldRemove(w int, e *entry, err error) bool {
 }
 
 // foldLookup folds one read-your-writes check on a name with a known state.
-func (h *harness) foldLookup(w int, e *entry, in types.Inode, err error) {
+// cached/grant describe the cache disposition of the lookup (false/0 when
+// the cache is off or the lookup went to the server).
+func (h *harness) foldLookup(w int, e *entry, in types.Inode, err error,
+	issued time.Duration, cached bool, grant time.Duration) {
 	h.rep.Ops++
-	h.recordOp(w, types.OpLookup, e, err, in)
+	h.recordOp(w, types.OpLookup, e, err, in, issued, cached, grant)
 	switch {
 	case errors.Is(err, types.ErrTimeout):
 		// No information; the name's oracle state is untouched.
@@ -136,11 +145,13 @@ func (h *harness) worker(w int) func(*simrt.Proc) {
 	return func(p *simrt.Proc) {
 		defer h.group.Done()
 		pr := h.c.Proc(w)
+		drv, _ := pr.Driver().(*core.Driver)
 		rng := rand.New(rand.NewSource(h.cfg.Seed*1000003 + int64(w)))
 		var live []*entry // entries currently in stExists
 
 		for i := 0; i < h.cfg.OpsPerWorker; i++ {
 			r := rng.Float64()
+			issued := p.Now()
 			switch {
 			case r < 0.55 || len(live) == 0:
 				// Create a fresh file or directory under root. The space in
@@ -153,7 +164,7 @@ func (h *harness) worker(w int) func(*simrt.Proc) {
 				} else {
 					e.ino, err = pr.Create(p, types.RootInode, e.name)
 				}
-				if h.foldCreate(w, e, err) {
+				if h.foldCreate(w, e, err, issued) {
 					live = append(live, e)
 				}
 			case r < 0.85:
@@ -167,7 +178,7 @@ func (h *harness) worker(w int) func(*simrt.Proc) {
 				} else {
 					err = pr.Remove(p, types.RootInode, e.name, e.ino)
 				}
-				if h.foldRemove(w, e, err) {
+				if h.foldRemove(w, e, err, issued) {
 					live = append(live, e)
 				}
 			default:
@@ -183,7 +194,109 @@ func (h *harness) worker(w int) func(*simrt.Proc) {
 				}
 				e := known[rng.Intn(len(known))]
 				in, err := pr.Lookup(p, types.RootInode, e.name)
-				h.foldLookup(w, e, in, err)
+				cached, grant := drv.LastLookup()
+				h.foldLookup(w, e, in, err, issued, cached, grant)
+			}
+		}
+	}
+}
+
+// recordForeignLookup folds a cross-worker read: the reader has no oracle
+// state for someone else's name, so only the history (for the staleness
+// oracle, which keys names globally) and the counters are updated.
+func (h *harness) recordForeignLookup(w int, name string, in types.Inode, err error,
+	issued time.Duration, cached bool, grant time.Duration) {
+	h.rep.Ops++
+	o := model.Op{Worker: w, Kind: types.OpLookup, Name: name,
+		Outcome: model.Classify(err),
+		Issued:  issued, At: h.c.Sim.Now(), Cached: cached, Grant: grant}
+	switch o.Outcome {
+	case model.OK:
+		o.Found, o.SawIno = true, in.Ino
+		h.rep.OK++
+	case model.FailedNotFound:
+		h.rep.OK++
+	case model.Unknown:
+		h.rep.Unknown++
+	default:
+		h.rep.Failed++
+	}
+	h.rep.History = append(h.rep.History, o)
+}
+
+// stormWorker is the stat-storm workload: a small mutating stream under a
+// dominant read mix — repeated lookups of the worker's own names plus
+// cross-worker stat traffic on everyone else's. With leases on, most reads
+// are served from the cache while the nemesis kills the lease-granting
+// servers mid-grant; the staleness-bound oracle then audits every cached
+// observation in the history.
+func (h *harness) stormWorker(w int) func(*simrt.Proc) {
+	return func(p *simrt.Proc) {
+		defer h.group.Done()
+		pr := h.c.Proc(w)
+		drv, _ := pr.Driver().(*core.Driver)
+		rng := rand.New(rand.NewSource(h.cfg.Seed*1000003 + int64(w)))
+		var live []*entry
+
+		for i := 0; i < h.cfg.OpsPerWorker; i++ {
+			r := rng.Float64()
+			issued := p.Now()
+			switch {
+			case r < 0.12 || len(h.entries[w]) == 0:
+				// Keep a trickle of creates so there is something to read and
+				// leases keep getting granted on fresh names.
+				e := &entry{name: fmt.Sprintf("w%d f%d", w, i), dir: rng.Float64() < 0.15}
+				h.entries[w] = append(h.entries[w], e)
+				var err error
+				if e.dir {
+					e.ino, err = pr.Mkdir(p, types.RootInode, e.name)
+				} else {
+					e.ino, err = pr.Create(p, types.RootInode, e.name)
+				}
+				if h.foldCreate(w, e, err, issued) {
+					live = append(live, e)
+				}
+			case r < 0.20 && len(live) > 0:
+				// ... and of removes, so revocations fire against held leases.
+				k := rng.Intn(len(live))
+				e := live[k]
+				live = append(live[:k], live[k+1:]...)
+				var err error
+				if e.dir {
+					err = pr.Rmdir(p, types.RootInode, e.name, e.ino)
+				} else {
+					err = pr.Remove(p, types.RootInode, e.name, e.ino)
+				}
+				if h.foldRemove(w, e, err, issued) {
+					live = append(live, e)
+				}
+			case r < 0.55:
+				// Stat-storm on a foreign worker's namespace: cached reads of
+				// names someone else is concurrently mutating.
+				w2 := rng.Intn(len(h.entries))
+				if w2 == w || len(h.entries[w2]) == 0 {
+					continue
+				}
+				e := h.entries[w2][rng.Intn(len(h.entries[w2]))]
+				in, err := pr.Lookup(p, types.RootInode, e.name)
+				cached, grant := drv.LastLookup()
+				h.recordForeignLookup(w, e.name, in, err, issued, cached, grant)
+			default:
+				// Stat-storm on the worker's own names, read-your-writes
+				// checked against the oracle.
+				var known []*entry
+				for _, e := range h.entries[w] {
+					if e.state == stExists || e.state == stAbsent {
+						known = append(known, e)
+					}
+				}
+				if len(known) == 0 {
+					continue
+				}
+				e := known[rng.Intn(len(known))]
+				in, err := pr.Lookup(p, types.RootInode, e.name)
+				cached, grant := drv.LastLookup()
+				h.foldLookup(w, e, in, err, issued, cached, grant)
 			}
 		}
 	}
@@ -199,28 +312,35 @@ func (h *harness) pipelinedWorker(w int) func(*simrt.Proc) {
 	return func(p *simrt.Proc) {
 		defer h.group.Done()
 		pr := h.c.Proc(w)
+		drv, _ := pr.Driver().(*core.Driver)
 		pipe := pr.NewPipeline(h.cfg.Pipeline)
 		rng := rand.New(rand.NewSource(h.cfg.Seed*1000003 + int64(w)))
 		var live []*entry             // entries currently in stExists
 		busy := make(map[string]bool) // names with an op in flight
 		owner := make(map[*core.Pending]*entry)
+		issuedAt := make(map[*core.Pending]time.Duration)
 
 		harvest := func(done []*core.Pending) {
 			for _, pe := range done {
 				e := owner[pe]
+				issued := issuedAt[pe]
 				delete(owner, pe)
+				delete(issuedAt, pe)
 				delete(busy, e.name)
 				switch pe.Op.Kind {
 				case types.OpCreate, types.OpMkdir:
-					if h.foldCreate(w, e, pe.Err) {
+					if h.foldCreate(w, e, pe.Err, issued) {
 						live = append(live, e)
 					}
 				case types.OpRemove, types.OpRmdir:
-					if h.foldRemove(w, e, pe.Err) {
+					if h.foldRemove(w, e, pe.Err, issued) {
 						live = append(live, e)
 					}
 				case types.OpLookup:
-					h.foldLookup(w, e, pe.Attr, pe.Err)
+					// LastLookup is racy under pipelining; the per-op log
+					// (TrackLookups) carries the cache disposition instead.
+					cached, grant, _ := drv.TakeLookup(pe.Op.ID)
+					h.foldLookup(w, e, pe.Attr, pe.Err, issued, cached, grant)
 				}
 			}
 		}
@@ -234,8 +354,9 @@ func (h *harness) pipelinedWorker(w int) func(*simrt.Proc) {
 				kind, ft = types.OpMkdir, types.FileDir
 			}
 			busy[e.name] = true
-			owner[pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: kind,
-				Parent: types.RootInode, Name: e.name, Ino: e.ino, Type: ft})] = e
+			pe := pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: kind,
+				Parent: types.RootInode, Name: e.name, Ino: e.ino, Type: ft})
+			owner[pe], issuedAt[pe] = e, p.Now()
 		}
 		// idle returns the entries of es with no op in flight on them.
 		idle := func(es []*entry) []*entry {
@@ -268,8 +389,9 @@ func (h *harness) pipelinedWorker(w int) func(*simrt.Proc) {
 					kind = types.OpRmdir
 				}
 				busy[e.name] = true
-				owner[pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: kind,
-					Parent: types.RootInode, Name: e.name, Ino: e.ino})] = e
+				pe := pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: kind,
+					Parent: types.RootInode, Name: e.name, Ino: e.ino})
+				owner[pe], issuedAt[pe] = e, p.Now()
 			default:
 				var known []*entry
 				for _, e := range h.entries[w] {
@@ -283,8 +405,9 @@ func (h *harness) pipelinedWorker(w int) func(*simrt.Proc) {
 				}
 				e := known[rng.Intn(len(known))]
 				busy[e.name] = true
-				owner[pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: types.OpLookup,
-					Parent: types.RootInode, Name: e.name})] = e
+				pe := pipe.Submit(p, types.Op{ID: pr.NextID(), Kind: types.OpLookup,
+					Parent: types.RootInode, Name: e.name})
+				owner[pe], issuedAt[pe] = e, p.Now()
 			}
 		}
 		harvest(pipe.Drain(p))
@@ -296,6 +419,9 @@ func (h *harness) pipelinedWorker(w int) func(*simrt.Proc) {
 // cluster-wide invariants are checked. The settled namespace is also
 // captured into Report.Final for the model oracle's independent replay.
 func (h *harness) verify(p *simrt.Proc) {
+	// Drop every cached lease first: verification must read the settled
+	// server state, not a client's leased view of it.
+	h.c.FlushCaches()
 	h.rep.Final = make(map[string]types.InodeID)
 	for w := range h.entries {
 		pr := h.c.Proc(w)

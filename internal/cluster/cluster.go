@@ -86,6 +86,15 @@ type Options struct {
 	// Obs attaches the observability layer to the servers, drivers, and
 	// WALs. Nil (the default) disables all recording.
 	Obs *obs.Observer
+	// CacheTTL enables the leased client metadata cache: servers grant
+	// leases of this TTL on lookup responses, and every driver resolves
+	// cached paths locally until the lease lapses, a revocation lands, or
+	// the grantor's boot epoch moves. 0 (the default) disables caching and
+	// leasing entirely. Applies to ProtoCx and the SE baselines (2PC/CE
+	// have no lookup fast path).
+	CacheTTL time.Duration
+	// CacheCap bounds each driver's cache (0 = core.DefaultCacheCap).
+	CacheCap int
 }
 
 // DefaultOptions mirrors the paper's setup for n servers.
@@ -111,9 +120,11 @@ type Cluster struct {
 	Placement namespace.Placement
 
 	Bases   []*node.Base
-	CxSrv   []*core.Server // non-nil only under ProtoCx
+	CxSrv   []*core.Server       // non-nil only under ProtoCx
+	SESrv   []*baseline.SEServer // non-nil only under ProtoSE / ProtoSEBatched
 	Hosts   []*node.Host
-	drivers []Driver // one per host
+	drivers []Driver      // one per host
+	caches  []*core.Cache // one per host when Opts.CacheTTL > 0
 	procs   []*Process
 }
 
@@ -154,6 +165,7 @@ func New(opts Options) (*Cluster, error) {
 		opts.ProcsPerHost = 8
 	}
 	opts.Cx.Obs = opts.Obs
+	opts.Cx.LeaseTTL = opts.CacheTTL
 	opts.Obs.BeginRun(string(opts.Protocol))
 	sim := simrt.New(opts.Seed)
 	net := transport.New(sim, opts.Net)
@@ -185,9 +197,15 @@ func New(opts Options) (*Cluster, error) {
 			srv.Start()
 			c.CxSrv = append(c.CxSrv, srv)
 		case ProtoSE:
-			baseline.NewSEServer(base, pl, false, opts.SEFlush).Start()
+			srv := baseline.NewSEServer(base, pl, false, opts.SEFlush)
+			srv.SetLeaseTTL(opts.CacheTTL)
+			srv.Start()
+			c.SESrv = append(c.SESrv, srv)
 		case ProtoSEBatched:
-			baseline.NewSEServer(base, pl, true, opts.SEFlush).Start()
+			srv := baseline.NewSEServer(base, pl, true, opts.SEFlush)
+			srv.SetLeaseTTL(opts.CacheTTL)
+			srv.Start()
+			c.SESrv = append(c.SESrv, srv)
 		case Proto2PC:
 			baseline.NewTwoPCServer(base, pl).Start()
 		case ProtoCE:
@@ -205,16 +223,28 @@ func New(opts Options) (*Cluster, error) {
 	for i := 0; i < opts.ClientHosts; i++ {
 		host := node.NewHost(sim, net, c.hostID(i))
 		c.Hosts = append(c.Hosts, host)
+		newCache := func() *core.Cache {
+			cc := core.NewCache(opts.CacheCap)
+			cc.SetObserver(opts.Obs)
+			c.caches = append(c.caches, cc)
+			return cc
+		}
 		switch opts.Protocol {
 		case ProtoCx:
 			d := core.NewDriver(host, pl)
 			d.SetObserver(opts.Obs, string(opts.Protocol))
 			d.SetRetry(opts.Retry)
+			if opts.CacheTTL > 0 {
+				d.SetCache(newCache())
+			}
 			c.drivers = append(c.drivers, d)
 		case ProtoSE, ProtoSEBatched:
 			d := baseline.NewSEDriver(host, pl)
 			d.SetObserver(opts.Obs, string(opts.Protocol))
 			d.SetRetry(opts.Retry)
+			if opts.CacheTTL > 0 {
+				d.SetCache(newCache())
+			}
 			c.drivers = append(c.drivers, d)
 		case Proto2PC:
 			d := baseline.NewTwoPCDriver(host, pl)
@@ -417,6 +447,62 @@ func (pr *Process) SetAttr(p *simrt.Proc, ino types.InodeID) error {
 
 // MsgStats snapshots the network counters.
 func (c *Cluster) MsgStats() transport.Stats { return c.Net.Stats() }
+
+// Driver returns the protocol driver backing this process (chaos harnesses
+// type-assert it for cache introspection such as LastLookup).
+func (pr *Process) Driver() Driver { return pr.driver }
+
+// FlushCaches drops every driver's cached entries (counters survive), so a
+// verification pass reads settled server state instead of leases.
+func (c *Cluster) FlushCaches() {
+	for _, cc := range c.caches {
+		cc.Flush()
+	}
+}
+
+// CacheStats sums cache counters across every driver.
+func (c *Cluster) CacheStats() core.CacheStats {
+	var total core.CacheStats
+	for _, cc := range c.caches {
+		s := cc.Stats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Invalidations += s.Invalidations
+		total.Revocations += s.Revocations
+		total.Expirations += s.Expirations
+		total.EpochFences += s.EpochFences
+		total.Evictions += s.Evictions
+	}
+	return total
+}
+
+// LeasesOutstanding reports how many unexpired leases server i currently
+// tracks (0 for protocols without leasing). The lease-aware nemesis targets
+// the server holding the most.
+func (c *Cluster) LeasesOutstanding(i int) int {
+	switch {
+	case i < len(c.CxSrv):
+		return c.CxSrv[i].LeasesOutstanding()
+	case i < len(c.SESrv):
+		return c.SESrv[i].LeasesOutstanding()
+	}
+	return 0
+}
+
+// LeaseStats sums lease-side counters (grants, revocations) across servers.
+func (c *Cluster) LeaseStats() (granted, revoked uint64) {
+	for _, srv := range c.CxSrv {
+		st := srv.Stats()
+		granted += st.LeasesGranted
+		revoked += st.LeaseRevocations
+	}
+	for _, srv := range c.SESrv {
+		g, r := srv.LeaseStats()
+		granted += g
+		revoked += r
+	}
+	return granted, revoked
+}
 
 // Quiesce drives every pending Cx commitment to completion and flushes all
 // servers, so invariant checks compare settled state. For the baselines it

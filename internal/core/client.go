@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"cxfs/internal/namespace"
 	"cxfs/internal/node"
@@ -23,6 +24,16 @@ type Driver struct {
 	obsv  *obs.Observer
 	proto string
 	retry types.RetryPolicy
+
+	// cache, when attached, serves lookups locally under lease (the leased
+	// read path). lastCached/lastGrant describe the most recent lookup —
+	// read by harnesses immediately after Do returns, which is safe because
+	// the cooperative scheduler cannot interleave another process between
+	// doLookup's return and the caller's next statement.
+	cache      *Cache
+	lastCached bool
+	lastGrant  time.Duration
+	lookupLog  map[types.OpID]lookupRec // per-op dispositions (TrackLookups)
 
 	stats DriverStats
 }
@@ -59,6 +70,67 @@ func (d *Driver) SetObserver(o *obs.Observer, proto string) {
 // fault-free network; under faults, a policy bounds every wait and the
 // server-side duplicate suppression keeps retransmissions at-most-once.
 func (d *Driver) SetRetry(rp types.RetryPolicy) { d.retry = rp }
+
+// SetCache attaches the leased metadata cache and installs the host's
+// revocation hook: MsgConflictNotify with a Path is a lease revocation for
+// this client, consumed before the per-op reply routes (it must never leak
+// into an op's reply channel when its ID collides with an open route).
+func (d *Driver) SetCache(c *Cache) {
+	d.cache = c
+	if c == nil {
+		return
+	}
+	d.host.SetNotify(func(m wire.Msg) bool {
+		if m.Type == wire.MsgConflictNotify && m.Path != "" {
+			c.Revoke(m.Dir, m.Path, m.From, m.LeaseEpoch)
+			return true
+		}
+		return false
+	})
+}
+
+// Cache returns the attached cache (nil when caching is off).
+func (d *Driver) Cache() *Cache { return d.cache }
+
+// FlushCache drops every cached entry; verification reads then hit servers.
+func (d *Driver) FlushCache() {
+	if d.cache != nil {
+		d.cache.Flush()
+	}
+}
+
+// LastLookup reports whether this driver's most recent lookup was served
+// from the cache, and the lease grant timestamp backing it. Only meaningful
+// when read immediately after the Lookup returns (see the field comment).
+func (d *Driver) LastLookup() (cached bool, grant time.Duration) {
+	return d.lastCached, d.lastGrant
+}
+
+// lookupRec is one completed lookup's cache disposition, kept per-op for
+// pipelined harnesses (where LastLookup races between in-flight lookups).
+type lookupRec struct {
+	cached bool
+	grant  time.Duration
+}
+
+// TrackLookups starts recording each completed lookup's cache disposition
+// keyed by operation ID, for harvesting with TakeLookup. Only harnesses that
+// drain every entry should enable it (the log grows until taken).
+func (d *Driver) TrackLookups() {
+	if d.lookupLog == nil {
+		d.lookupLog = make(map[types.OpID]lookupRec)
+	}
+}
+
+// TakeLookup pops the recorded cache disposition of lookup id. ok is false
+// when the lookup never resolved (timeout) or tracking is off.
+func (d *Driver) TakeLookup(id types.OpID) (cached bool, grant time.Duration, ok bool) {
+	r, ok := d.lookupLog[id]
+	if ok {
+		delete(d.lookupLog, id)
+	}
+	return r.cached, r.grant, ok
+}
 
 // call sends req and waits for a reply on route, retransmitting per the
 // retry policy. The second return is false when the attempt budget is
@@ -128,6 +200,21 @@ func (d *Driver) Do(p *simrt.Proc, op types.Op) (types.Inode, error) {
 
 func (d *Driver) do(p *simrt.Proc, op types.Op, conflicted *bool) (types.Inode, error) {
 	d.stats.Ops++
+	if d.cache != nil {
+		if op.Kind == types.OpLookup {
+			return d.doLookup(p, op)
+		}
+		if op.Kind.Mutating() {
+			// Read-your-writes: drop this client's cached view of every
+			// entry the mutation names BEFORE dispatching it. Done
+			// unconditionally (even if the op later fails or times out) —
+			// over-invalidation only costs a miss.
+			d.cache.Invalidate(op.Parent, op.Name)
+			if op.Kind == types.OpRename {
+				d.cache.Invalidate(op.NewParent, op.NewName)
+			}
+		}
+	}
 	if op.Kind == types.OpRename {
 		// Rename runs as an eager transaction coordinated by the source
 		// entry's owner (extension; see internal/core/rename.go).
@@ -163,6 +250,44 @@ func (d *Driver) doSingle(p *simrt.Proc, op types.Op) (types.Inode, error) {
 	if !ok {
 		d.stats.Failures++
 		return types.Inode{}, types.ErrTimeout
+	}
+	if !m.OK {
+		d.stats.Failures++
+	}
+	return m.Attr, errFrom(m)
+}
+
+// doLookup is the leased read path: serve (Parent, Name) from the cache
+// when a valid lease covers it, otherwise round-trip a MsgLookupReq to the
+// dentry's coordinator and install the granted lease.
+func (d *Driver) doLookup(p *simrt.Proc, op types.Op) (types.Inode, error) {
+	now := d.host.Sim.Now()
+	if attr, found, grant, ok := d.cache.Get(now, op.Parent, op.Name); ok {
+		d.lastCached, d.lastGrant = true, grant
+		if d.lookupLog != nil {
+			d.lookupLog[op.ID] = lookupRec{cached: true, grant: grant}
+		}
+		if !found {
+			return types.Inode{}, types.ErrNotFound
+		}
+		return attr, nil
+	}
+	d.lastCached, d.lastGrant = false, 0
+	d.stats.SingleServer++
+	target := d.pl.CoordinatorFor(op.Parent, op.Name)
+	route := d.host.Open(op.ID)
+	defer d.host.Done(op.ID)
+	issued := d.host.Sim.Now()
+	m, ok := d.call(p, route, wire.Msg{Type: wire.MsgLookupReq, To: target, Op: op.ID,
+		Dir: op.Parent, Path: op.Name, ReplyProc: op.ID.Proc})
+	if !ok {
+		d.stats.Failures++
+		return types.Inode{}, types.ErrTimeout
+	}
+	d.cache.Put(issued, d.host.Sim.Now(), m)
+	d.lastGrant = issued
+	if d.lookupLog != nil {
+		d.lookupLog[op.ID] = lookupRec{cached: false, grant: issued}
 	}
 	if !m.OK {
 		d.stats.Failures++

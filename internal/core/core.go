@@ -97,6 +97,10 @@ type Config struct {
 	// cost dominates small backlogs (5KB of valid records still takes 3s),
 	// which is what makes Table V sublinear.
 	RecoveryFreeze time.Duration
+	// LeaseTTL is the validity window stamped on read leases granted to
+	// client lookup requests. 0 disables the leased read path: LookupReq is
+	// still answered, but without a lease, so clients cannot cache.
+	LeaseTTL time.Duration
 	// Obs receives protocol-phase trace events and latency samples. Nil
 	// (the default) disables all recording at the cost of one pointer
 	// check per site — the hot path is unaffected.
@@ -128,6 +132,9 @@ type Stats struct {
 	Renames           uint64 // committed rename transactions (extension)
 	AdaptiveShrinks   uint64 // lazy periods shortened by log pressure
 	AdaptiveStretches uint64 // lazy periods stretched by idleness
+	Lookups           uint64 // LookupReq served (leased read path)
+	LeasesGranted     uint64 // read leases stamped on lookup replies
+	LeaseRevocations  uint64 // revocation notices sent to lease holders
 }
 
 // coordOp is a pending cross-server operation on its coordinator.
@@ -248,6 +255,12 @@ type Server struct {
 	// instead of re-executed.
 	localInflight map[types.OpID]bool
 
+	// leases tracks which clients hold read leases on this server's
+	// directory entries; mutations revoke through it (piggybacked on
+	// C-NOTIFY). Wiped on recovery — a rebooted server's grants carry a
+	// higher lease epoch, and clients fence out the old incarnation's.
+	leases *LeaseTable
+
 	stats Stats
 }
 
@@ -280,6 +293,7 @@ func NewServer(base *node.Base, pl namespace.Placement, cfg Config) *Server {
 		wantCommit:    make(map[types.OpID]wantEntry),
 		replyCache:    make(map[types.OpID]wire.Msg),
 		localInflight: make(map[types.OpID]bool),
+		leases:        NewLeaseTable(leaseTableCap),
 	}
 	return s
 }
@@ -434,13 +448,15 @@ func (s *Server) handle(p *simrt.Proc, m wire.Msg) {
 	}
 	if s.recovering {
 		switch m.Type {
-		case wire.MsgSubOpReq, wire.MsgOpReq, wire.MsgLCom:
+		case wire.MsgSubOpReq, wire.MsgOpReq, wire.MsgLCom, wire.MsgLookupReq:
 			return
 		}
 	}
 	switch m.Type {
 	case wire.MsgSubOpReq:
 		s.handleSubOp(p, m)
+	case wire.MsgLookupReq:
+		s.handleLookup(p, m)
 	case wire.MsgOpReq:
 		s.handleLocalOp(p, m)
 	case wire.MsgLCom:

@@ -11,6 +11,7 @@ import (
 
 // handleSubOp is step 2 of the basic protocol: check for conflicts, execute,
 // log the Result-Record, and answer YES/NO immediately.
+
 func (s *Server) handleSubOp(p *simrt.Proc, m wire.Msg) {
 	s.lastArrive = s.Sim.Now()
 	sub := m.Sub
@@ -239,10 +240,16 @@ func (s *Server) execSubOp(p *simrt.Proc, m wire.Msg, hint types.OpID, epoch uin
 	s.CrashPoint(CPExecAfterReply, sub.Op)
 }
 
-// hold marks the sub-op's conflict key active.
+// hold marks the sub-op's conflict key active. A dentry becoming active
+// also revokes any read leases on it: the cached value may be stale the
+// moment this execution commits.
 func (s *Server) hold(sub types.SubOp) {
 	if key, ok := conflictKey(sub); ok {
 		s.active[key] = sub.Op
+	}
+	switch sub.Action {
+	case types.ActInsertEntry, types.ActRemoveEntry:
+		s.revokeLeases(sub.Parent, sub.Name, sub.Op)
 	}
 }
 
@@ -303,6 +310,11 @@ func (s *Server) redispatch(p *simrt.Proc, br *blockedReq, released types.OpID) 
 	if br.msg.Type == wire.MsgOpReq {
 		// A blocked colocated compound op re-runs through the local path.
 		s.handleLocalOp(p, br.msg)
+		return
+	}
+	if br.msg.Type == wire.MsgLookupReq {
+		// A parked leased read re-resolves now that the holder committed.
+		s.handleLookup(p, br.msg)
 		return
 	}
 	s.execSubOp(p, br.msg, released, br.epoch)
@@ -444,6 +456,12 @@ func (s *Server) runLocalOp(p *simrt.Proc, m wire.Msg) {
 			}
 			s.Send(reply)
 			return
+		}
+		// The colocated path never marks objects active (it commits in one
+		// batched append below), but the dentry mutation still voids leases.
+		switch cSub.Action {
+		case types.ActInsertEntry, types.ActRemoveEntry:
+			s.revokeLeases(cSub.Parent, cSub.Name, op.ID)
 		}
 		recs = append(recs,
 			wal.Record{Type: wal.RecResult, Op: op.ID, Role: types.RoleCoordinator, OK: true, Sub: cSub, Before: resC.Before, After: resC.After},

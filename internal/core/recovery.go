@@ -55,6 +55,10 @@ func (s *Server) Recover(p *simrt.Proc) time.Duration {
 	s.flushQ = nil
 	s.wantCommit = make(map[types.OpID]wantEntry)
 	s.localInflight = make(map[types.OpID]bool)
+	// Leases granted by the previous incarnation are dead: the rebuilt
+	// table starts empty, and this incarnation's grants carry a higher
+	// lease epoch, so clients fence out anything stamped before the crash.
+	s.leases.Reset()
 
 	// Fixed phase: confirm the crash and freeze the file system (§V: "it
 	// informs all other collaborating servers to go into the recovery

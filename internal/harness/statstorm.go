@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"cxfs/internal/cluster"
+	"cxfs/internal/metarates"
+	"cxfs/internal/stats"
+)
+
+// StatStormRow is one (protocol, cache) cell of the stat-storm experiment:
+// a read-only recursive walk storm over a deep tree, with the leased client
+// metadata cache off and on.
+type StatStormRow struct {
+	Protocol      string
+	Cache         string // "off" | "on"
+	Lookups       uint64
+	Messages      uint64
+	MsgsPerLookup float64
+	HitRate       float64 // cache hits / lookups (0 with the cache off)
+	Elapsed       time.Duration
+	Reduction     float64 // off/on message ratio; set on "on" rows
+}
+
+// statStormTTL keeps leases alive across the whole measured storm, so the
+// experiment reads the cache's steady-state benefit, not TTL churn.
+const statStormTTL = 30 * time.Second
+
+// StatStorm measures the leased cache's round-trip reduction on Cx and the
+// OFS (SE) baseline. The walk count scales with cfg.Scale; the tree shape
+// is fixed. Returns the rows, the printable table, and the worst off/on
+// message-reduction ratio across protocols — the CI gate value.
+func StatStorm(cfg Config) ([]StatStormRow, *stats.Table, float64) {
+	walks := int(cfg.Scale * 2500)
+	if walks < 3 {
+		walks = 3
+	}
+	if walks > 50 {
+		walks = 50
+	}
+	storm := metarates.StormConfig{Depth: 4, Files: 6, Walks: walks}
+
+	var rows []StatStormRow
+	tbl := stats.NewTable(
+		fmt.Sprintf("Stat-storm: %d-deep tree, %d files/level, %d walks/proc (client cache off vs on)",
+			storm.Depth, storm.Files, storm.Walks),
+		"Protocol", "Cache", "Lookups", "Messages", "Msgs/Lookup", "Hit rate", "Reduction")
+
+	worst := 0.0
+	for _, proto := range []cluster.Protocol{cluster.ProtoSE, cluster.ProtoCx} {
+		var offMsgs uint64
+		for _, ttl := range []time.Duration{0, statStormTTL} {
+			o := cluster.DefaultOptions(cfg.Servers, proto)
+			o.ClientHosts = 4
+			o.ProcsPerHost = 2
+			o.Seed = cfg.Seed
+			o.Obs = cfg.Obs
+			o.CacheTTL = ttl
+			c := cluster.MustNew(o)
+			res := metarates.RunStorm(c, storm)
+			if bad := c.CheckInvariants(); len(bad) != 0 {
+				panic(fmt.Sprintf("statstorm %s ttl=%v: invariants: %v", proto, ttl, bad))
+			}
+			c.Shutdown()
+
+			row := StatStormRow{
+				Protocol: string(proto), Cache: "off",
+				Lookups: res.Lookups, Messages: res.Messages,
+				MsgsPerLookup: res.MsgsPerLookup, Elapsed: res.Elapsed,
+			}
+			if ttl > 0 {
+				row.Cache = "on"
+				if res.Lookups > 0 {
+					row.HitRate = float64(res.CacheHits) / float64(res.Lookups)
+				}
+				if res.Messages > 0 {
+					row.Reduction = float64(offMsgs) / float64(res.Messages)
+				}
+				if worst == 0 || row.Reduction < worst {
+					worst = row.Reduction
+				}
+			} else {
+				offMsgs = res.Messages
+			}
+			rows = append(rows, row)
+			red := "-"
+			if row.Reduction > 0 {
+				red = fmt.Sprintf("%.1fx", row.Reduction)
+			}
+			tbl.Add(row.Protocol, row.Cache, row.Lookups, row.Messages,
+				fmt.Sprintf("%.2f", row.MsgsPerLookup), stats.Pct(row.HitRate), red)
+		}
+	}
+	return rows, tbl, worst
+}

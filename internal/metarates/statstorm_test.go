@@ -1,0 +1,80 @@
+package metarates
+
+import (
+	"testing"
+	"time"
+
+	"cxfs/internal/cluster"
+)
+
+func stormCluster(proto cluster.Protocol, ttl time.Duration) *cluster.Cluster {
+	o := cluster.DefaultOptions(3, proto)
+	o.ClientHosts = 2
+	o.ProcsPerHost = 2
+	o.CacheTTL = ttl
+	return cluster.MustNew(o)
+}
+
+var stormCfg = StormConfig{Depth: 3, Files: 4, Walks: 10}
+
+func TestStatStormCountsWalks(t *testing.T) {
+	c := stormCluster(cluster.ProtoCx, 0)
+	defer c.Shutdown()
+	res := RunStorm(c, stormCfg)
+	// Per walk: the storm root, then per level Files files + 1 spine dir.
+	perWalk := uint64(1 + stormCfg.Depth*(stormCfg.Files+1))
+	want := perWalk * uint64(stormCfg.Walks) * uint64(c.NumProcs())
+	if res.Lookups != want {
+		t.Errorf("Lookups=%d, want %d", res.Lookups, want)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors: %d", res.Errors)
+	}
+	if res.CacheHits != 0 {
+		t.Errorf("cache hits without a cache: %d", res.CacheHits)
+	}
+	if res.MsgsPerLookup < 2 {
+		t.Errorf("uncached MsgsPerLookup=%.2f, want >= 2 (request+response per lookup)", res.MsgsPerLookup)
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Errorf("invariants: %v", bad)
+	}
+}
+
+// TestStatStormCacheRoundTripReduction is the headline acceptance property:
+// with the leased cache on, a stat-storm costs at least 5x fewer network
+// messages per lookup than the same walk pattern without it, on both the Cx
+// servers and the SE baseline (the lease path is protocol-independent).
+func TestStatStormCacheRoundTripReduction(t *testing.T) {
+	for _, proto := range []cluster.Protocol{cluster.ProtoCx, cluster.ProtoSE} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			run := func(ttl time.Duration) StormResult {
+				c := stormCluster(proto, ttl)
+				defer c.Shutdown()
+				res := RunStorm(c, stormCfg)
+				if res.Errors != 0 {
+					t.Fatalf("ttl=%v: %d walk errors", ttl, res.Errors)
+				}
+				if bad := c.CheckInvariants(); len(bad) != 0 {
+					t.Fatalf("ttl=%v: invariants: %v", ttl, bad)
+				}
+				return res
+			}
+			off := run(0)
+			on := run(30 * time.Second)
+			if on.CacheHits == 0 {
+				t.Fatal("cache on but no hits during the storm")
+			}
+			ratio := float64(off.Messages) / float64(on.Messages)
+			if ratio < 5 {
+				t.Errorf("messages off=%d on=%d: reduction %.1fx, want >= 5x",
+					off.Messages, on.Messages, ratio)
+			}
+			if on.MsgsPerLookup*5 > off.MsgsPerLookup {
+				t.Errorf("MsgsPerLookup off=%.2f on=%.2f: reduction below 5x",
+					off.MsgsPerLookup, on.MsgsPerLookup)
+			}
+		})
+	}
+}

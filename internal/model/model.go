@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"time"
 
 	"cxfs/internal/types"
 )
@@ -85,13 +86,26 @@ type Op struct {
 	// inode it resolved to.
 	Found  bool
 	SawIno types.InodeID
+
+	// Timing, for the leased-cache staleness bound. Issued is the virtual
+	// time the client dispatched the operation, At the time it observed the
+	// outcome. For lookups served from the client cache, Cached is true and
+	// Grant is the lease's timestamp — stamped at the *issue* of the
+	// request that filled the cache entry, a sound lower bound on the
+	// server-side grant instant (the server resolved strictly after the
+	// request left the client).
+	Issued time.Duration
+	At     time.Duration
+	Cached bool
+	Grant  time.Duration
 }
 
 // String renders one op compactly (used by the history hash, so the format
 // is part of the fingerprint).
 func (o Op) String() string {
-	return fmt.Sprintf("w%d %s %q ino=%d %s found=%v saw=%d",
-		o.Worker, o.Kind, o.Name, o.Ino, o.Outcome, o.Found, o.SawIno)
+	return fmt.Sprintf("w%d %s %q ino=%d %s found=%v saw=%d iss=%d at=%d cached=%v grant=%d",
+		o.Worker, o.Kind, o.Name, o.Ino, o.Outcome, o.Found, o.SawIno,
+		int64(o.Issued), int64(o.At), o.Cached, int64(o.Grant))
 }
 
 // name-state of the sequential model.
@@ -221,6 +235,94 @@ func Check(hist []Op, final map[string]types.InodeID) []string {
 			if found && ino != ns.ino {
 				bad = append(bad, fmt.Sprintf("final: unknown-outcome entry %q -> foreign ino %d (model allows absent or %d)", k.name, ino, ns.ino))
 			}
+		}
+	}
+	return bad
+}
+
+// CheckStalenessBound verifies the leased-cache guarantee over a history:
+// a cached read may return a value no older than its lease grant, and never
+// a name whose invalidation (remove) committed before the grant. Unlike
+// Check, it keys names globally — every harness generates globally unique
+// names ("w<id> ..."), so cross-worker cached reads are checkable against
+// the owning worker's mutations.
+//
+// The bound deliberately permits TTL-window staleness: a remove that
+// commits *after* the grant may stay invisible to cached reads until the
+// lease lapses or the revocation lands. What it forbids is a lease
+// reflecting state older than its own grant:
+//
+//   - a cached positive read whose name was definitely removed (outcome OK,
+//     observed at or before the grant timestamp);
+//   - a cached negative read whose name was definitely created before the
+//     grant, with no remove even issued by the time of the read;
+//   - a cached positive read resolving to a foreign inode (names are bound
+//     exactly once).
+//
+// Timestamps are client-side: a mutation's At is when the client observed
+// the outcome, which the server-side commit precedes; a lookup's Grant is
+// the cache-filling request's issue time, which the server-side grant
+// follows. Both inequalities point the safe direction, so the check is
+// sound under arbitrary message delays.
+func CheckStalenessBound(hist []Op) []string {
+	type mut struct {
+		issued  time.Duration
+		at      time.Duration
+		remove  bool
+		outcome Outcome
+		ino     types.InodeID
+	}
+	muts := make(map[string][]mut)
+	for _, o := range hist {
+		switch o.Kind {
+		case types.OpCreate, types.OpMkdir, types.OpRemove, types.OpRmdir:
+			muts[o.Name] = append(muts[o.Name], mut{
+				issued: o.Issued, at: o.At,
+				remove:  o.Kind == types.OpRemove || o.Kind == types.OpRmdir,
+				outcome: o.Outcome, ino: o.Ino,
+			})
+		}
+	}
+	var bad []string
+	for i, o := range hist {
+		if o.Kind != types.OpLookup || !o.Cached {
+			continue
+		}
+		if o.Outcome != OK && o.Outcome != FailedNotFound {
+			continue
+		}
+		found := o.Outcome == OK && o.Found
+		var createdBefore, removedBefore bool // definitely committed by Grant
+		var removeIssuedByRead bool
+		var boundIno types.InodeID
+		var haveBound bool
+		for _, m := range muts[o.Name] {
+			if m.remove {
+				if m.issued <= o.At {
+					removeIssuedByRead = true
+				}
+				if m.outcome == OK && m.at <= o.Grant {
+					removedBefore = true
+				}
+			} else {
+				if m.outcome == OK {
+					boundIno, haveBound = m.ino, true
+					if m.at <= o.Grant {
+						createdBefore = true
+					}
+				}
+			}
+		}
+		switch {
+		case found && removedBefore:
+			bad = append(bad, fmt.Sprintf(
+				"staleness[%d]: cached read returned a name whose removal committed before the lease grant: %s", i, o))
+		case found && haveBound && o.SawIno != boundIno:
+			bad = append(bad, fmt.Sprintf(
+				"staleness[%d]: cached read resolved to foreign ino (name bound to %d): %s", i, boundIno, o))
+		case !found && createdBefore && !removeIssuedByRead:
+			bad = append(bad, fmt.Sprintf(
+				"staleness[%d]: cached read missed an entry committed before the lease grant: %s", i, o))
 		}
 	}
 	return bad

@@ -240,6 +240,22 @@ func (sh *Shard) LookupEntry(dir types.InodeID, name string) (types.InodeID, boo
 	return types.InodeID(binary.LittleEndian.Uint64(raw)), true
 }
 
+// ResolveEntry resolves (dir, name) to the full inode for the leased read
+// path. The dentry is authoritative here by placement (the coordinator for
+// (dir, name) owns it); the inode row may live on another server, in which
+// case the binding is still a valid lease payload and only the attributes
+// are zero.
+func (sh *Shard) ResolveEntry(dir types.InodeID, name string) (Inode, bool) {
+	ino, ok := sh.LookupEntry(dir, name)
+	if !ok {
+		return Inode{}, false
+	}
+	if in, ok := sh.GetInode(ino); ok {
+		return in, true
+	}
+	return Inode{Ino: ino}, true
+}
+
 // Exec applies one sub-operation to the volatile image, returning its
 // result and undo. now is the virtual timestamp for ctime/mtime fields.
 // Exec never touches the disk; persistence (sync or batched) is the

@@ -268,6 +268,7 @@ type Host struct {
 
 	inbox  *simrt.Chan[wire.Msg]
 	routes map[types.OpID]*simrt.Chan[wire.Msg]
+	notify func(wire.Msg) bool
 }
 
 // NewHost builds a client host and starts its dispatcher.
@@ -283,6 +284,9 @@ func (h *Host) dispatch(p *simrt.Proc) {
 		if !ok {
 			return
 		}
+		if h.notify != nil && h.notify(m) {
+			continue
+		}
 		if ch, ok := h.routes[m.Op]; ok {
 			ch.Send(m)
 		}
@@ -290,6 +294,14 @@ func (h *Host) dispatch(p *simrt.Proc) {
 		// e.g. a superseded pre-invalidation reply) and are dropped.
 	}
 }
+
+// SetNotify installs an out-of-band inbound-message hook, consulted before
+// the per-op routes. Returning true consumes the message. Unsolicited
+// server-to-client traffic — lease revocations piggybacked on C-NOTIFY —
+// arrives with no open route and would otherwise be dropped; it must also
+// never leak into an op's reply channel when its ID collides with an open
+// route.
+func (h *Host) SetNotify(fn func(wire.Msg) bool) { h.notify = fn }
 
 // Open registers a response route for op and returns the channel its
 // messages arrive on. Close it with Done when the op completes.

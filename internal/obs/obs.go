@@ -221,7 +221,8 @@ type Observer struct {
 	phaseCount [numPhases]uint64
 	flush      FlushStats
 
-	series map[string]*stats.Series
+	series   map[string]*stats.Series
+	counters map[string]uint64
 
 	run       int
 	runLabels []string
@@ -233,9 +234,10 @@ func New(o Options) *Observer {
 		o.TraceCap = 1 << 18
 	}
 	return &Observer{
-		opts:   o,
-		hists:  make(map[Key]*Histogram),
-		series: make(map[string]*stats.Series),
+		opts:     o,
+		hists:    make(map[Key]*Histogram),
+		series:   make(map[string]*stats.Series),
+		counters: make(map[string]uint64),
 	}
 }
 
@@ -328,6 +330,36 @@ func (o *Observer) Sample(name string, t time.Duration, v float64) {
 		o.series[name] = s
 	}
 	s.Add(t, v)
+}
+
+// Inc adds delta to the named monotonic counter (cache hits, lease
+// revocations, ...). Nil-safe.
+func (o *Observer) Inc(name string, delta uint64) {
+	if o == nil {
+		return
+	}
+	o.counters[name] += delta
+}
+
+// Counter returns the named counter's value (0 if absent). Nil-safe.
+func (o *Observer) Counter(name string) uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.counters[name]
+}
+
+// CounterNames lists the recorded counters, sorted. Nil-safe.
+func (o *Observer) CounterNames() []string {
+	if o == nil {
+		return nil
+	}
+	names := make([]string, 0, len(o.counters))
+	for n := range o.counters {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
 }
 
 // Series returns the named sample series (nil if absent). Nil-safe.

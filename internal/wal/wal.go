@@ -137,6 +137,8 @@ type WAL struct {
 	fullHandler func()
 	pruneHook   func(op types.OpID, bytes int64)
 	crashed     bool
+	gen         uint64 // incarnation; bumped by Crash so in-flight writes from
+	// a dead incarnation stay discarded even after Reboot re-enables the log
 
 	// Group commit: when linger > 0, appends from concurrent Procs enqueue
 	// into window and a single flusher Proc writes them as one sequential
@@ -233,13 +235,14 @@ func (w *WAL) appendBatch(p *simrt.Proc, recs []Record, priority bool) {
 	if len(recs) == 0 || w.crashed {
 		return
 	}
+	gen := w.gen
 	var total int64
 	for i := range recs {
 		total += encodedSize(&recs[i])
 	}
 	if !priority {
 		w.waitForSpace(p, total)
-		if w.crashed {
+		if w.crashed || gen != w.gen {
 			return
 		}
 	}
@@ -252,8 +255,12 @@ func (w *WAL) appendBatch(p *simrt.Proc, recs []Record, priority bool) {
 	off := w.head
 	w.head += total
 	w.dsk.Access(p, w.base+off, total, true)
-	if w.crashed {
-		return // crashed while the write was in flight: not durable
+	if w.crashed || gen != w.gen {
+		// Crashed while the write was in flight: not durable. The gen check
+		// holds even when the server already rebooted — a record from the
+		// dead incarnation must not materialize in the post-reboot log after
+		// recovery has scanned it.
+		return
 	}
 	for i := range recs {
 		w.admit(recs[i], encodedSize(&recs[i]))
@@ -296,8 +303,9 @@ func (w *WAL) flusher(p *simrt.Proc) {
 		w.winBytes -= total
 		off := w.head
 		w.head += total
+		gen := w.gen
 		w.dsk.Access(p, w.base+off, total, true)
-		if !w.crashed {
+		if !w.crashed && gen == w.gen {
 			for _, fr := range batch {
 				for i := range fr.recs {
 					w.admit(fr.recs[i], encodedSize(&fr.recs[i]))
@@ -406,6 +414,7 @@ func (w *WAL) wakeWaiters() {
 // wakes from its disk write, sees the crash, and exits without admitting.
 func (w *WAL) Crash() {
 	w.crashed = true
+	w.gen++
 	for _, fw := range w.waiters {
 		fw.ch.Send(struct{}{})
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"cxfs/internal/types"
 )
@@ -49,6 +50,9 @@ func Validate(m *Msg) error {
 	}
 	if len(m.Err) > MaxString {
 		return fmt.Errorf("wire: error text of %d bytes exceeds %d", len(m.Err), MaxString)
+	}
+	if len(m.Path) > MaxString {
+		return fmt.Errorf("wire: lookup path of %d bytes exceeds %d", len(m.Path), MaxString)
 	}
 	if len(m.Ops) > MaxBatch {
 		return fmt.Errorf("wire: %d ops exceed batch limit %d", len(m.Ops), MaxBatch)
@@ -276,6 +280,10 @@ func appendMsg(buf []byte, m *Msg) []byte {
 	e.opID(m.Hint)
 	e.u32(m.Epoch)
 	e.inode(m.Attr)
+	e.u64(uint64(m.Dir))
+	e.str(m.Path)
+	e.u64(m.LeaseEpoch)
+	e.u64(uint64(m.LeaseTTL))
 	e.u16(uint16(len(m.Ops)))
 	for _, op := range m.Ops {
 		e.opID(op)
@@ -381,6 +389,10 @@ func DecodeBody(body []byte) (Msg, error) {
 	m.Hint = d.opID()
 	m.Epoch = d.u32()
 	m.Attr = d.inode()
+	m.Dir = types.InodeID(d.u64())
+	m.Path = d.str()
+	m.LeaseEpoch = d.u64()
+	m.LeaseTTL = time.Duration(d.u64())
 	if n := d.count(16); n > 0 {
 		m.Ops = make([]types.OpID, n)
 		for i := range m.Ops {
@@ -443,6 +455,7 @@ func Size(m *Msg) int64 {
 		2 + len(m.Err) +
 		16 + 4 + // hint, epoch
 		37 + // inode
+		8 + 2 + len(m.Path) + 8 + 8 + // dir, path, lease epoch, lease ttl
 		2 + len(m.Ops)*16 +
 		2 + len(m.Enforce)*16 +
 		2 + len(m.Votes)*17 +

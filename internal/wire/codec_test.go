@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"cxfs/internal/types"
 )
@@ -51,6 +52,12 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: MsgMigrateResp, From: 1, To: 0, Rows: []Row{{Key: "i/42", Val: []byte{1, 2, 3}}, {Key: "d/1/f", Val: nil}}},
 		{Type: MsgMigrateReq, From: 0, To: 1, Keys: []string{"i/42", "d/1/f"}},
 		{Type: MsgOpResp, From: 0, To: 101, Err: "entry exists"},
+		{Type: MsgLookupReq, From: 101, To: 0, Op: types.OpID{Seq: 5}, Dir: 9, Path: "checkpoint.000123"},
+		{Type: MsgLookupResp, From: 0, To: 101, Op: types.OpID{Seq: 5}, OK: true, Dir: 9,
+			Path: "checkpoint.000123", Attr: types.Inode{Ino: 5001, Type: types.FileRegular, Nlink: 1},
+			LeaseEpoch: 3, LeaseTTL: 25 * time.Millisecond},
+		{Type: MsgConflictNotify, From: 0, To: 101, Op: types.OpID{Seq: 6}, Dir: 9,
+			Path: "checkpoint.000123", LeaseEpoch: 3},
 	}
 	for _, m := range msgs {
 		buf := mustEncode(t, &m)
@@ -98,7 +105,11 @@ func quickMsgValues(vals []reflect.Value, r *rand.Rand) {
 			Name:    randStr(r, 30),
 			NewName: randStr(r, 30),
 		},
-		Epoch: r.Uint32(),
+		Epoch:      r.Uint32(),
+		Dir:        types.InodeID(r.Uint64()),
+		Path:       randStr(r, 30),
+		LeaseEpoch: r.Uint64(),
+		LeaseTTL:   time.Duration(r.Int63()),
 	}
 	for i := 0; i < r.Intn(5); i++ {
 		m.Ops = append(m.Ops, types.OpID{Seq: r.Uint64()})
@@ -202,6 +213,16 @@ func TestEncodeLimitBoundaries(t *testing.T) {
 		t.Fatal("at-limit name mangled in round trip")
 	}
 
+	atLimitPath := Msg{Type: MsgLookupReq, Dir: 1, Path: strings.Repeat("p", MaxString)}
+	buf = mustEncode(t, &atLimitPath)
+	got, err = Decode(buf)
+	if err != nil {
+		t.Fatalf("decode at-limit path: %v", err)
+	}
+	if got.Path != atLimitPath.Path {
+		t.Fatal("at-limit path mangled in round trip")
+	}
+
 	over := Msg{Type: MsgSubOpReq, Sub: types.SubOp{Name: strings.Repeat("n", MaxString+1)}}
 	if _, err := Encode(&over); err == nil {
 		t.Error("64KiB name accepted")
@@ -231,6 +252,7 @@ func TestEncodeLimitBoundaries(t *testing.T) {
 		"rows":      {Type: MsgMigrateResp, Rows: make([]Row, MaxBatch+1)},
 		"keys":      {Type: MsgMigrateReq, Keys: make([]string, MaxBatch+1)},
 		"err-text":  {Type: MsgOpResp, Err: strings.Repeat("e", MaxString+1)},
+		"path":      {Type: MsgLookupReq, Path: strings.Repeat("p", MaxString+1)},
 		"row-key":   {Type: MsgMigrateResp, Rows: []Row{{Key: strings.Repeat("k", MaxString+1)}}},
 	} {
 		m := m

@@ -3,6 +3,7 @@ package wire
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"cxfs/internal/types"
 )
@@ -43,6 +44,10 @@ func seedMsgs() []Msg {
 		{Type: MsgMigrateAck, From: 1, To: 0},
 		{Type: MsgPing, From: 0, To: 1},
 		{Type: MsgPong, From: 1, To: 0},
+		{Type: MsgLookupReq, From: 101, To: 0, Op: id(8), ReplyProc: id(8).Proc, Dir: 1, Path: "f0001"},
+		{Type: MsgLookupResp, From: 0, To: 101, Op: id(8), OK: true, Dir: 1, Path: "f0001",
+			Attr:       types.Inode{Ino: 42, Type: types.FileRegular, Nlink: 1, Mtime: 5},
+			LeaseEpoch: 2, LeaseTTL: 50 * time.Millisecond},
 	}
 }
 

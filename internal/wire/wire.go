@@ -32,6 +32,7 @@ package wire
 
 import (
 	"fmt"
+	"time"
 
 	"cxfs/internal/types"
 )
@@ -62,6 +63,9 @@ const (
 	// Chassis-level liveness (answered by node.Base, not the protocol).
 	MsgPing
 	MsgPong
+	// Client read path with leases (extension; ROADMAP item 5).
+	MsgLookupReq  // resolve (Dir, Path) -> inode, requesting a lease
+	MsgLookupResp // resolution result plus the granted lease (epoch/TTL)
 	msgTypeCount
 )
 
@@ -85,6 +89,8 @@ var msgTypeNames = [...]string{
 	MsgMigrateAck:     "MIGRATE-ACK",
 	MsgPing:           "PING",
 	MsgPong:           "PONG",
+	MsgLookupReq:      "LOOKUP-REQ",
+	MsgLookupResp:     "LOOKUP-RESP",
 }
 
 // String renders a MsgType using the paper's names where they exist.
@@ -147,6 +153,19 @@ type Msg struct {
 	Epoch uint32
 	// Attr is the inode payload of stat/lookup responses.
 	Attr types.Inode
+
+	// Dir and Path name the directory entry of the leased read path: a
+	// LookupReq resolves (Dir, Path); the LookupResp and lease revocations
+	// (ConflictNotify with Path set) echo them so the client cache knows
+	// which entry the message is about.
+	Dir  types.InodeID
+	Path string
+	// LeaseEpoch fences a lease to the granting server's boot incarnation:
+	// grants and revocations from a rebooted server carry a higher epoch,
+	// and the client cache drops entries from older epochs. Zero = no
+	// lease. LeaseTTL is the grant's validity window.
+	LeaseEpoch uint64
+	LeaseTTL   time.Duration
 
 	// Batch payloads.
 	Ops []types.OpID // VOTE, ACK
